@@ -1,0 +1,40 @@
+// Shared configuration for the evaluation benches (Figs. 10-14): the paper's
+// simulated cluster (100 machines, Section V-B) driven by the Table V request
+// streams. Grid benches use a 40 s horizon (the full 100 s only where the
+// figure's story needs it) to keep single-core wall time reasonable; the
+// peak-time scales with the horizon so every pattern still stresses the
+// cluster mid-run.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/experiment.h"
+#include "exp/report.h"
+
+namespace vmlp::bench {
+
+inline exp::ExperimentConfig eval_config(exp::SchemeKind scheme, loadgen::PatternKind pattern,
+                                         exp::StreamKind stream, SimTime horizon = 40 * kSec) {
+  exp::ExperimentConfig c;
+  c.scheme = scheme;
+  c.pattern = pattern;
+  c.stream = stream;
+  c.seed = 2022;
+  c.driver.horizon = horizon;
+  c.driver.cluster.machine_count = 100;
+  c.pattern_params.horizon = horizon;
+  c.pattern_params.peak_time = horizon * 2 / 5;  // the "40th second" scaled
+  return c;
+}
+
+/// Run and echo one-line progress to stderr (benches can take minutes on a
+/// single core; silence reads as a hang).
+inline exp::ExperimentResult run_with_progress(const exp::ExperimentConfig& config,
+                                               const char* label) {
+  std::fprintf(stderr, "  running %-12s %s/%s ...\n", exp::scheme_name(config.scheme),
+               loadgen::pattern_name(config.pattern), label);
+  return exp::run_experiment(config);
+}
+
+}  // namespace vmlp::bench

@@ -1,0 +1,35 @@
+// Fig. 3(a) — Ratio of resource demand in execution state to suspension
+// state for the 12 SocialNetwork microservices, per resource type, plus each
+// service's intensity class (CPU / IO / CPU&IO).
+#include <iostream>
+
+#include "cluster/container.h"
+#include "exp/report.h"
+#include "workloads/social_network.h"
+
+int main() {
+  using namespace vmlp;
+  exp::print_section("Fig. 3(a) — execution/suspension resource-demand ratio (SocialNetwork)");
+
+  auto sn = workloads::make_social_network();
+  exp::Table table({"service", "intensity", "cpu demand (mC)", "io demand (MB/s)",
+                    "cpu ratio", "mem ratio", "io ratio"});
+
+  for (const auto& svc : sn->services()) {
+    cluster::Container c(ContainerId(0), InstanceId(0), MachineId(0), svc.demand, svc.demand);
+    const auto running = c.effective_usage();
+    c.suspend();
+    const auto suspended = c.effective_usage();
+    table.row({svc.name, app::intensity_name(svc.intensity), exp::fmt_double(svc.demand.cpu, 0),
+               exp::fmt_double(svc.demand.io, 0),
+               exp::fmt_double(running.cpu / suspended.cpu, 1),
+               exp::fmt_double(running.mem / suspended.mem, 1),
+               exp::fmt_double(running.io / suspended.io, 1)});
+  }
+  table.print();
+
+  std::cout << "\nPaper shape: microservices face fewer resource bottlenecks than\n"
+               "monoliths — memory capacity is not a bottleneck (low mem ratio);\n"
+               "services are CPU-, IO-, or CPU&IO-intensive.\n";
+  return 0;
+}

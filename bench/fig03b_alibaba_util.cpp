@@ -1,0 +1,43 @@
+// Fig. 3(b) — Server utilization of a production container over an 8-day
+// trace (synthetic Alibaba-style substitute): heavy fluctuation with frequent
+// surge peaks under resource over-subscription.
+#include <iostream>
+
+#include "exp/report.h"
+#include "stats/percentile.h"
+#include "workloads/alibaba_trace.h"
+
+int main() {
+  using namespace vmlp;
+  exp::print_section("Fig. 3(b) — container utilization, 8-day synthetic production trace");
+
+  const workloads::AlibabaTraceParams params;
+  const auto trace = workloads::generate_alibaba_trace(params, 2022);
+
+  stats::SampleSet s;
+  for (double u : trace.utilization) s.add(u);
+
+  exp::Table table({"metric", "value"});
+  table.row({"samples (5-min)", std::to_string(trace.sample_count())});
+  table.row({"mean utilization", exp::fmt_percent(trace.mean())});
+  table.row({"p50", exp::fmt_percent(s.median())});
+  table.row({"p90", exp::fmt_percent(s.quantile(0.90))});
+  table.row({"p99", exp::fmt_percent(s.p99())});
+  table.row({"max", exp::fmt_percent(trace.max())});
+  table.row({"surge peaks > 70%", std::to_string(trace.peaks_above(0.7))});
+  table.row({"peak-to-mean ratio", exp::fmt_double(trace.max() / trace.mean(), 2)});
+  table.print();
+
+  std::cout << "\nDaily utilization curves (one line per day):\n";
+  const std::size_t per_day = trace.sample_count() / 8;
+  for (int day = 0; day < 8; ++day) {
+    std::vector<double> day_series(trace.utilization.begin() + day * per_day,
+                                   trace.utilization.begin() + (day + 1) * per_day);
+    std::cout << "  day " << day << "  " << exp::ascii_series(day_series, 72) << '\n';
+  }
+
+  std::cout << "\nPaper shape: significant workload fluctuation with many peaks from\n"
+               "frequent traffic surges; over-subscribed resources cannot always meet\n"
+               "demand peaks.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 11 — Efficiency: overall cluster utilization U around the workload
+// peak. Mixed stream, pulse pattern, 100 machines, full 100 s horizon with
+// the peak arriving at the 40th second; one U(t) curve per scheme.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vmlp;
+  exp::print_section("Fig. 11 — cluster utilization U(t), peak at t = 40 s");
+
+  exp::Table table({"scheme", "U@30s", "U@40s", "U@45s", "U@55s", "U@70s", "mean U",
+                    "post-peak recovery"});
+  std::vector<std::pair<std::string, std::vector<double>>> curves;
+
+  for (auto scheme : exp::all_schemes()) {
+    auto config = bench::eval_config(scheme, loadgen::PatternKind::kL1Pulse,
+                                     exp::StreamKind::kMixed, 100 * kSec);
+    // A sustained surge (15 s) at 1.5× the nominal rate curve (the Fig. 12
+    // methodology scales QPS proportionally) so the post-peak backlog-drain
+    // behaviour the figure is about actually materializes.
+    config.pattern_params.pulse_width = 15 * kSec;
+    config.qps_scale = 1.5;
+    const auto result = bench::run_with_progress(config, "mixed");
+    const auto& u = result.utilization_series;  // 1 s buckets
+
+    auto at = [&](std::size_t sec) { return sec < u.size() ? u[sec] : 0.0; };
+    // Post-peak recovery: mean U over 50..70 s relative to the pre-peak level
+    // (20..38 s) — how well the scheme restores its pipeline after the surge.
+    double pre = 0.0, post = 0.0;
+    for (std::size_t t = 20; t < 38; ++t) pre += at(t);
+    pre /= 18.0;
+    for (std::size_t t = 50; t < 70; ++t) post += at(t);
+    post /= 20.0;
+
+    table.row({exp::scheme_name(scheme), exp::fmt_percent(at(30)), exp::fmt_percent(at(40)),
+               exp::fmt_percent(at(45)), exp::fmt_percent(at(55)), exp::fmt_percent(at(70)),
+               exp::fmt_percent(result.run.mean_utilization),
+               exp::fmt_double(pre > 0 ? post / pre : 0.0, 2)});
+    curves.emplace_back(exp::scheme_name(scheme), u);
+  }
+  table.print();
+
+  std::cout << "\nU(t) curves (100 s, one column per second):\n";
+  for (const auto& [name, curve] : curves) {
+    std::cout << "  " << name << std::string(12 - std::min<std::size_t>(12, name.size()), ' ')
+              << exp::ascii_series(curve, 100) << '\n';
+  }
+
+  std::cout << "\nPaper shape: every scheme spikes when the peak arrives; simple\n"
+               "schedulers then slump (contention mismatch), advanced profiles recover\n"
+               "partially, and v-MLP restores its pre-peak utilization fastest because\n"
+               "the self-organizing module replans around the dependency structure.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 12 — Performance: latency distribution of the mixed request stream at
+// increasing workload levels (QPS scaling), per scheme: p50 / p90 / p99.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vmlp;
+  exp::print_section("Fig. 12 — latency distribution vs. workload level (mixed stream)");
+
+  const double levels[] = {0.25, 0.5, 0.75, 1.0, 1.25};
+  for (double level : levels) {
+    exp::print_section("workload level " + exp::fmt_percent(level, 0) + " of max (1000 req/s peak)");
+    exp::Table table({"scheme", "p50", "p90", "p99", "mean", "QoS viol."});
+    for (auto scheme : exp::all_schemes()) {
+      auto config = bench::eval_config(scheme, loadgen::PatternKind::kL2Fluctuating,
+                                       exp::StreamKind::kMixed);
+      config.qps_scale = level;
+      const auto result = bench::run_with_progress(config, "mixed");
+      table.row({exp::scheme_name(scheme), exp::fmt_ms(result.run.p50_latency_us),
+                 exp::fmt_ms(result.run.p90_latency_us), exp::fmt_ms(result.run.p99_latency_us),
+                 exp::fmt_ms(result.run.mean_latency_us),
+                 exp::fmt_percent(result.run.qos_violation_rate, 2)});
+    }
+    table.print();
+  }
+
+  std::cout << "\nPaper shape: v-MLP leads at every percentile, and its advantage grows\n"
+               "at the higher workload levels where the self-healing module absorbs the\n"
+               "uncertain situations.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 14 — Performance: normalized throughput (v-MLP = 1.00) while sweeping
+// the fraction of high-V_r requests in the stream under the fluctuating (L2)
+// pattern at 1.4× the nominal peak — throughput only differentiates when the
+// cluster is pressed past saturation.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "workloads/suite.h"
+
+namespace {
+
+// Mean nominal busy time (µs) per request for a mix with the given high-V_r
+// ratio. Used to keep the *offered work* constant across ratio cells — a raw
+// fixed QPS would saturate only the expensive high-ratio mixes and flatten
+// the low-ratio columns.
+double mix_cost(const vmlp::app::Application& application, double ratio) {
+  using namespace vmlp;
+  double high = 0.0, rest = 0.0;
+  int n_high = 0, n_rest = 0;
+  for (const auto& rt : application.requests()) {
+    double work = 0.0;
+    for (const auto& node : rt.nodes()) {
+      work += static_cast<double>(application.service(node.service).nominal_time) *
+              node.time_scale;
+    }
+    if (application.band(rt.id()) == app::VolatilityBand::kHigh) {
+      high += work;
+      ++n_high;
+    } else {
+      rest += work;
+      ++n_rest;
+    }
+  }
+  return ratio * high / n_high + (1.0 - ratio) * rest / n_rest;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vmlp;
+  exp::print_section("Fig. 14 — normalized throughput vs. ratio of high-V_r requests "
+                     "(v-MLP = 1.00)");
+
+  const double ratios[] = {0.1, 0.5, 0.9};
+  const loadgen::PatternKind patterns[] = {loadgen::PatternKind::kL2Fluctuating};
+  auto suite = workloads::make_benchmark_suite();
+  const double reference_cost = mix_cost(*suite, 0.9);
+  (void)reference_cost;
+
+  for (auto pattern : patterns) {
+    exp::print_section(std::string("pattern: ") + loadgen::pattern_name(pattern));
+    exp::Table table({"scheme", "10% high", "50% high", "90% high"});
+
+    std::map<std::pair<int, int>, double> thr;
+    const auto schemes = exp::all_schemes();
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      for (std::size_t r = 0; r < 3; ++r) {
+        auto config = bench::eval_config(schemes[s], pattern, exp::StreamKind::kHighRatio,
+                                         15 * kSec);
+        config.high_ratio = ratios[r];
+        // Past-saturation pressure: throughput only differentiates when the
+        // offered load exceeds what the weakest scheme can serve.
+        config.qps_scale = 1.4;
+        const auto result = bench::run_with_progress(config, "high-ratio");
+        thr[{static_cast<int>(s), static_cast<int>(r)}] = result.run.throughput_rps;
+      }
+    }
+    const int vmlp_idx = static_cast<int>(schemes.size()) - 1;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      std::vector<std::string> row{exp::scheme_name(schemes[s])};
+      for (std::size_t r = 0; r < 3; ++r) {
+        row.push_back(exp::fmt_double(
+            exp::normalize(thr[{static_cast<int>(s), static_cast<int>(r)}],
+                           thr[{vmlp_idx, static_cast<int>(r)}]),
+            2));
+      }
+      table.row(row);
+    }
+    table.print();
+  }
+
+  std::cout << "\nPaper shape: v-MLP's throughput lead grows with the ratio of high-V_r\n"
+               "requests (tailored management of volatile chains) and is larger under\n"
+               "the fluctuating pattern (self-healing keeps the pipeline aligned).\n";
+  return 0;
+}

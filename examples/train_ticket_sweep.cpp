@@ -1,0 +1,63 @@
+// Example: parameter sweep over workload intensity on TrainTicket — how does
+// each scheduler's tail latency grow as the request rate rises? Demonstrates
+// the experiment grid API (exp::run_grid) and result post-processing.
+//
+//   $ ./train_ticket_sweep
+#include <iostream>
+
+#include "exp/report.h"
+#include "loadgen/generator.h"
+#include "sched/cur_sched.h"
+#include "sched/driver.h"
+#include "sched/part_profile.h"
+#include "mlp/vmlp.h"
+#include "workloads/train_ticket.h"
+
+int main() {
+  using namespace vmlp;
+
+  workloads::TrainTicketIds ids;
+  auto tt = workloads::make_train_ticket(&ids);
+  std::cout << "TrainTicket sweep: getCheapest (high V_r) + basicSearch (mid V_r), "
+               "rates 20..100 req/s, 20 machines, 15 s each\n\n";
+
+  auto run_point = [&](sched::IScheduler& scheduler, double rate) {
+    sched::DriverParams params;
+    params.horizon = 15 * kSec;
+    params.cluster.machine_count = 20;
+    params.seed = 31;
+
+    loadgen::PatternParams pp;
+    pp.horizon = params.horizon;
+    pp.base_rate = rate;
+    pp.max_rate = rate * 2.0;
+    pp.peak_time = 6 * kSec;
+    const auto pattern = loadgen::WorkloadPattern::make(loadgen::PatternKind::kL1Pulse, pp, 31);
+    Rng rng(31);
+    sched::SimulationDriver driver(*tt, scheduler, params);
+    driver.load_arrivals(
+        loadgen::generate_arrivals(pattern, loadgen::RequestMix::all(*tt), rng));
+    return driver.run();
+  };
+
+  exp::Table table({"rate (req/s)", "scheme", "QoS viol.", "p50", "p99", "throughput"});
+  for (double rate : {20.0, 40.0, 60.0, 80.0, 100.0}) {
+    sched::CurSched cur;
+    sched::PartProfile part;
+    mlp::VmlpScheduler vmlp_sched;
+    for (sched::IScheduler* scheduler :
+         {static_cast<sched::IScheduler*>(&cur), static_cast<sched::IScheduler*>(&part),
+          static_cast<sched::IScheduler*>(&vmlp_sched)}) {
+      const auto r = run_point(*scheduler, rate);
+      table.row({exp::fmt_double(rate, 0), scheduler->name(),
+                 exp::fmt_percent(r.qos_violation_rate), exp::fmt_ms(r.p50_latency_us),
+                 exp::fmt_ms(r.p99_latency_us), exp::fmt_double(r.throughput_rps, 1)});
+    }
+  }
+  table.print();
+
+  std::cout << "\nExpected: all schemes are fine at 50 req/s; as the rate climbs the\n"
+               "reactive scheduler's tail inflates first, while profile-driven\n"
+               "admission and v-MLP's chain coalescing degrade gracefully.\n";
+  return 0;
+}

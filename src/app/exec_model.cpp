@@ -1,0 +1,57 @@
+#include "app/exec_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vmlp::app {
+
+ExecModel::ExecModel(ExecModelParams params) : params_(params) {
+  for (int i = 1; i <= 3; ++i) {
+    VMLP_CHECK(params_.inner_cv[i] >= 0.0);
+    VMLP_CHECK(params_.sensitivity_exponent[i] >= 0.0);
+  }
+}
+
+SimDuration ExecModel::sample_work(const MicroserviceType& type, double request_scale,
+                                   Rng& rng) const {
+  VMLP_CHECK_MSG(type.nominal_time > 0, "microservice '" << type.name << "' has no nominal time");
+  VMLP_CHECK_MSG(request_scale > 0.0, "non-positive request scale");
+  VMLP_CHECK_MSG(type.cls.valid(), "invalid service class for '" << type.name << "'");
+  const double mean = static_cast<double>(type.nominal_time) * request_scale;
+  const double cv = params_.inner_cv[type.cls.inner_variability];
+  const double work = rng.lognormal_mean_cv(mean, cv);
+  return std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(work)));
+}
+
+double ExecModel::bottleneck(const MicroserviceType& type,
+                             const cluster::ResourceVector& allocation) const {
+  const cluster::ResourceVector granted =
+      allocation.clamp_to(type.demand).max(cluster::ResourceVector{1e-3, 1e-3, 1e-3});
+  return std::max(1.0, type.demand.max_ratio_over(granted));
+}
+
+double ExecModel::rate(const MicroserviceType& type,
+                       const cluster::ResourceVector& allocation) const {
+  const double f = bottleneck(type, allocation);
+  const double e = params_.sensitivity_exponent[type.cls.resource_sensitivity];
+  return std::pow(f, -e);
+}
+
+SimDuration ExecModel::sample_duration(const MicroserviceType& type, double request_scale,
+                                       const cluster::ResourceVector& allocation,
+                                       Rng& rng) const {
+  const SimDuration work = sample_work(type, request_scale, rng);
+  const double f = bottleneck(type, allocation);
+  double duration = static_cast<double>(work) / rate(type, allocation);
+  if (type.cls.resource_sensitivity == 3 && f > 1.0) {
+    // Fig. 3(c)'s "highly variable" class: contention widens the distribution,
+    // not just its mean.
+    const double extra_cv = params_.high_sensitivity_extra_cv * (f - 1.0);
+    duration *= rng.lognormal_mean_cv(1.0, extra_cv);
+  }
+  return std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(duration)));
+}
+
+}  // namespace vmlp::app

@@ -1,0 +1,66 @@
+// Execution-time model (Section II's characterization, made generative).
+//
+// A microservice invocation is a quantity of *work* — its duration at full
+// allocation — processed at a *rate* determined by how much of its demand the
+// scheduler granted:
+//
+//   work  = T₀ · request-type scale · inner-logic noise(I)
+//   rate  = f^(−e(S)),  f = max(1, demand/allocation bottleneck ratio)
+//   duration = work / rate, plus extra dispersion for S=3 under contention
+//
+// Inner-logic classes (Fig. 2): I=1 keeps worst-case variation under 15 %,
+// I=2 between 15–45 %, I=3 heavy-tailed (the "order doubles" case).
+// Sensitivity classes (Fig. 3(c)): S=1 nearly insensitive, S=2 mean shifts,
+// S=3 mean *and* variance inflate under capping.
+//
+// Work/rate factoring is what lets the self-healing module's resource stretch
+// change allocations mid-flight: remaining work is invariant, the rate — and
+// hence the completion time — changes.
+#pragma once
+
+#include "app/microservice.h"
+#include "cluster/resources.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace vmlp::app {
+
+struct ExecModelParams {
+  // Lognormal CV of the inner-logic noise per I class (index 0 unused).
+  double inner_cv[4] = {0.0, 0.045, 0.10, 0.28};
+  // Rate exponent e(S) per S class (index 0 unused): rate = f^-e.
+  double sensitivity_exponent[4] = {0.0, 0.30, 1.00, 1.25};
+  // Extra lognormal CV applied per unit of (f-1) for S=3 services.
+  double high_sensitivity_extra_cv = 0.18;
+};
+
+class ExecModel {
+ public:
+  explicit ExecModel(ExecModelParams params = {});
+
+  /// Sampled work: duration at full allocation, including inner-logic noise.
+  [[nodiscard]] SimDuration sample_work(const MicroserviceType& type, double request_scale,
+                                        Rng& rng) const;
+
+  /// Relative execution rate in (0, 1] for a given allocation. 1.0 when the
+  /// allocation covers the demand.
+  [[nodiscard]] double rate(const MicroserviceType& type,
+                            const cluster::ResourceVector& allocation) const;
+
+  /// Bottleneck factor f >= 1 (demand over allocation, worst dimension).
+  [[nodiscard]] double bottleneck(const MicroserviceType& type,
+                                  const cluster::ResourceVector& allocation) const;
+
+  /// Full duration sample for a constant allocation (work, rate and — for
+  /// S=3 under contention — extra dispersion combined).
+  [[nodiscard]] SimDuration sample_duration(const MicroserviceType& type, double request_scale,
+                                            const cluster::ResourceVector& allocation,
+                                            Rng& rng) const;
+
+  [[nodiscard]] const ExecModelParams& params() const { return params_; }
+
+ private:
+  ExecModelParams params_;
+};
+
+}  // namespace vmlp::app

@@ -1,0 +1,14 @@
+#include "app/microservice.h"
+
+namespace vmlp::app {
+
+const char* intensity_name(ResourceIntensity intensity) {
+  switch (intensity) {
+    case ResourceIntensity::kCpu: return "cpu";
+    case ResourceIntensity::kIo: return "io";
+    case ResourceIntensity::kCpuIo: return "cpu+io";
+  }
+  return "?";
+}
+
+}  // namespace vmlp::app

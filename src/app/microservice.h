@@ -1,0 +1,44 @@
+// Microservice type model.
+//
+// A microservice is characterized by (Section II):
+//   * a nominal resource demand vector and its intensity class
+//     (CPU-, IO-, or CPU&IO-intensive — Fig. 3(a));
+//   * I — inner execution-logic variability class (Fig. 2);
+//   * S — sensitivity to resource shortage (Fig. 3(c));
+//   * C — communication-overhead level of its caller links (Fig. 4);
+// I, S, C ∈ {1, 2, 3} per Table II and enter the volatility metric V_r.
+#pragma once
+
+#include <string>
+
+#include "cluster/resources.h"
+#include "common/types.h"
+
+namespace vmlp::app {
+
+enum class ResourceIntensity { kCpu, kIo, kCpuIo };
+
+const char* intensity_name(ResourceIntensity intensity);
+
+/// The volatility terms of Table II.
+struct ServiceClass {
+  int inner_variability = 1;    ///< I: 1 (low) .. 3 (high)
+  int resource_sensitivity = 1; ///< S: 1 (low) .. 3 (high)
+  int comm_overhead = 1;        ///< C: 1 .. 3, from Var(RTT)
+
+  [[nodiscard]] bool valid() const {
+    auto ok = [](int v) { return v >= 1 && v <= 3; };
+    return ok(inner_variability) && ok(resource_sensitivity) && ok(comm_overhead);
+  }
+};
+
+struct MicroserviceType {
+  ServiceTypeId id;
+  std::string name;
+  cluster::ResourceVector demand;  ///< nominal demand at full speed
+  SimDuration nominal_time = 0;    ///< service time at full allocation, baseline logic path
+  ServiceClass cls;
+  ResourceIntensity intensity = ResourceIntensity::kCpu;
+};
+
+}  // namespace vmlp::app

@@ -1,0 +1,35 @@
+#include "app/volatility.h"
+
+#include "common/error.h"
+
+namespace vmlp::app {
+
+const char* band_name(VolatilityBand band) {
+  switch (band) {
+    case VolatilityBand::kLow: return "low";
+    case VolatilityBand::kMid: return "mid";
+    case VolatilityBand::kHigh: return "high";
+  }
+  return "?";
+}
+
+double request_volatility(const std::vector<ServiceClass>& services) {
+  VMLP_CHECK_MSG(!services.empty(), "volatility of a request with no microservices");
+  double sum = 0.0;
+  for (const auto& cls : services) {
+    VMLP_CHECK_MSG(cls.valid(), "service class terms out of the 1..3 range");
+    sum += static_cast<double>(cls.inner_variability) *
+           static_cast<double>(cls.resource_sensitivity) *
+           static_cast<double>(cls.comm_overhead);
+  }
+  return kVolatilityAlpha * sum / static_cast<double>(services.size());
+}
+
+VolatilityBand volatility_band(double v_r) {
+  VMLP_CHECK_MSG(v_r >= 0.0 && v_r <= 1.0 + 1e-9, "V_r out of range: " << v_r);
+  if (v_r < kLowVolatilityMax) return VolatilityBand::kLow;
+  if (v_r <= kHighVolatilityMin) return VolatilityBand::kMid;
+  return VolatilityBand::kHigh;
+}
+
+}  // namespace vmlp::app

@@ -1,0 +1,30 @@
+// Volatility of requests (Section III-B):
+//
+//   V_r = α × Σ_{i=1..n} I_i × S_i × C_i / n,   α = 1/27
+//
+// so V_r ∈ (0, 1] with 1 reached when every invoked microservice maxes all
+// three terms. Bands follow Algorithm 1: low < 0.3 ≤ mid ≤ 0.7 < high.
+#pragma once
+
+#include <vector>
+
+#include "app/microservice.h"
+
+namespace vmlp::app {
+
+inline constexpr double kVolatilityAlpha = 1.0 / 27.0;
+inline constexpr double kLowVolatilityMax = 0.3;
+inline constexpr double kHighVolatilityMin = 0.7;
+
+enum class VolatilityBand { kLow, kMid, kHigh };
+
+const char* band_name(VolatilityBand band);
+
+/// V_r over the classes of a request's invoked microservices. Throws on an
+/// empty set or invalid class values.
+double request_volatility(const std::vector<ServiceClass>& services);
+
+/// Band classification per Algorithm 1's thresholds.
+VolatilityBand volatility_band(double v_r);
+
+}  // namespace vmlp::app

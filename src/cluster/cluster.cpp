@@ -1,0 +1,48 @@
+#include "cluster/cluster.h"
+
+#include "common/error.h"
+
+namespace vmlp::cluster {
+
+Cluster::Cluster(const ClusterParams& params) {
+  VMLP_CHECK_MSG(params.machine_count > 0, "cluster needs machines");
+  VMLP_CHECK_MSG(!params.machine_capacity.any_negative(), "negative machine capacity");
+  machines_.reserve(params.machine_count);
+  for (std::size_t i = 0; i < params.machine_count; ++i) {
+    machines_.emplace_back(MachineId(static_cast<std::uint32_t>(i)), params.machine_capacity);
+  }
+}
+
+Machine& Cluster::machine(MachineId id) {
+  VMLP_CHECK_MSG(id.valid() && id.value() < machines_.size(), "machine id out of range");
+  return machines_[id.value()];
+}
+
+const Machine& Cluster::machine(MachineId id) const {
+  VMLP_CHECK_MSG(id.valid() && id.value() < machines_.size(), "machine id out of range");
+  return machines_[id.value()];
+}
+
+double Cluster::overall_utilization() const {
+  double total = 0.0;
+  for (const auto& m : machines_) total += m.utilization_sum();
+  return total / (3.0 * static_cast<double>(machines_.size()));
+}
+
+ResourceVector Cluster::total_usage() const {
+  ResourceVector total;
+  for (const auto& m : machines_) total += m.current_usage();
+  return total;
+}
+
+ResourceVector Cluster::total_capacity() const {
+  ResourceVector total;
+  for (const auto& m : machines_) total += m.capacity();
+  return total;
+}
+
+void Cluster::compact_ledgers_before(SimTime t) {
+  for (auto& m : machines_) m.ledger().compact_before(t);
+}
+
+}  // namespace vmlp::cluster

@@ -1,0 +1,44 @@
+// Cluster: the set of simulated machines plus aggregate metrics
+// (the U utilization metric of Section V-B).
+#pragma once
+
+#include <vector>
+
+#include "cluster/machine.h"
+#include "common/types.h"
+
+namespace vmlp::cluster {
+
+struct ClusterParams {
+  std::size_t machine_count = 100;
+  // 4-core worker nodes (Table IV.A's cluster averages 6 cores/node; smaller
+  // nodes keep the paper's 1000 req/s peak in contention territory).
+  ResourceVector machine_capacity{4000.0, 16384.0, 1000.0};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterParams& params);
+
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+  [[nodiscard]] Machine& machine(MachineId id);
+  [[nodiscard]] const Machine& machine(MachineId id) const;
+  [[nodiscard]] std::vector<Machine>& machines() { return machines_; }
+  [[nodiscard]] const std::vector<Machine>& machines() const { return machines_; }
+
+  /// The paper's U: sum over nodes of (u_cpu+u_mem+u_io) divided by
+  /// (#resource types × #nodes). In [0, 1].
+  [[nodiscard]] double overall_utilization() const;
+
+  /// Total current usage and capacity across the cluster.
+  [[nodiscard]] ResourceVector total_usage() const;
+  [[nodiscard]] ResourceVector total_capacity() const;
+
+  /// Drop reservation-profile history before t on every machine.
+  void compact_ledgers_before(SimTime t);
+
+ private:
+  std::vector<Machine> machines_;
+};
+
+}  // namespace vmlp::cluster

@@ -1,0 +1,31 @@
+#include "cluster/container.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vmlp::cluster {
+
+Container::Container(ContainerId id, InstanceId instance, MachineId machine, ResourceVector demand,
+                     ResourceVector limit)
+    : id_(id), instance_(instance), machine_(machine), demand_(demand), limit_(limit) {
+  VMLP_CHECK_MSG(id.valid() && machine.valid(), "invalid container identity");
+  VMLP_CHECK_MSG(!demand.any_negative() && !limit.any_negative(), "negative container resources");
+}
+
+ResourceVector Container::set_limit(const ResourceVector& limit) {
+  VMLP_CHECK_MSG(!limit.any_negative(), "negative container limit");
+  ResourceVector old = limit_;
+  limit_ = limit;
+  return old;
+}
+
+ResourceVector Container::effective_usage() const {
+  const ResourceVector running = limit_.min(demand_);
+  if (state_ == ContainerState::kRunning) return running;
+  return {std::max(kSuspendedCpuFloor, running.cpu * kSuspendedCpuFraction),
+          std::max(kSuspendedMemFloor, running.mem * kSuspendedMemFraction),
+          std::max(kSuspendedIoFloor, running.io * kSuspendedIoFraction)};
+}
+
+}  // namespace vmlp::cluster

@@ -1,0 +1,58 @@
+// Machine: one node of the simulated cluster — a capacity vector, the set of
+// containers currently placed on it, and the reservation ledger describing
+// its committed future.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/container.h"
+#include "cluster/reservation.h"
+#include "cluster/resources.h"
+#include "common/types.h"
+
+namespace vmlp::cluster {
+
+class Machine {
+ public:
+  Machine(MachineId id, ResourceVector capacity);
+
+  [[nodiscard]] MachineId id() const { return id_; }
+  [[nodiscard]] const ResourceVector& capacity() const { return capacity_; }
+  [[nodiscard]] ReservationLedger& ledger() { return ledger_; }
+  [[nodiscard]] const ReservationLedger& ledger() const { return ledger_; }
+
+  /// Place a container. Throws if the id already exists.
+  Container& add_container(ContainerId id, InstanceId instance, const ResourceVector& demand,
+                           const ResourceVector& limit);
+  /// Remove a finished container. Throws if absent.
+  void remove_container(ContainerId id);
+  [[nodiscard]] Container* find_container(ContainerId id);
+  [[nodiscard]] const Container* find_container(ContainerId id) const;
+  [[nodiscard]] std::size_t container_count() const { return containers_.size(); }
+  [[nodiscard]] std::vector<ContainerId> container_ids() const;
+
+  /// Sum of effective usage of the containers placed here, clamped to
+  /// capacity (oversubscription shows up as allocation pressure, not as
+  /// physically impossible consumption).
+  [[nodiscard]] ResourceVector current_usage() const;
+  /// Sum of granted limits (may exceed capacity under oversubscription).
+  [[nodiscard]] ResourceVector allocated() const;
+  /// Total demand of the containers placed here.
+  [[nodiscard]] ResourceVector demanded() const;
+  /// Per-node efficiency term of the paper's U metric:
+  /// (u_cpu + u_mem + u_io) with each u in [0,1].
+  [[nodiscard]] double utilization_sum() const;
+  /// True when allocated limits exceed capacity in any dimension.
+  [[nodiscard]] bool oversubscribed() const;
+  /// Contention factor >= 1: how much allocation exceeds capacity at worst.
+  [[nodiscard]] double contention_factor() const;
+
+ private:
+  MachineId id_;
+  ResourceVector capacity_;
+  ReservationLedger ledger_;
+  std::unordered_map<ContainerId, Container> containers_;
+};
+
+}  // namespace vmlp::cluster

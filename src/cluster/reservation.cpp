@@ -1,0 +1,117 @@
+#include "cluster/reservation.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vmlp::cluster {
+namespace {
+
+bool nearly_equal(const ResourceVector& a, const ResourceVector& b) {
+  const ResourceVector d = a - b;
+  return !d.any_negative() && !(b - a).any_negative();
+}
+
+}  // namespace
+
+ReservationLedger::ReservationLedger(ResourceVector capacity) : capacity_(capacity) {
+  VMLP_CHECK_MSG(!capacity.any_negative(), "negative capacity");
+  profile_.emplace(0, ResourceVector::zero());
+}
+
+std::map<SimTime, ResourceVector>::iterator ReservationLedger::split_at(SimTime t) {
+  auto it = profile_.lower_bound(t);
+  if (it != profile_.end() && it->first == t) return it;
+  VMLP_CHECK_MSG(it != profile_.begin(), "time " << t << " precedes ledger origin");
+  auto prev = std::prev(it);
+  return profile_.emplace_hint(it, t, prev->second);
+}
+
+void ReservationLedger::reserve(SimTime t0, SimTime t1, const ResourceVector& r) {
+  VMLP_CHECK_MSG(t0 < t1, "empty reservation window [" << t0 << "," << t1 << ")");
+  auto begin = split_at(t0);
+  auto end = split_at(t1);
+  for (auto it = begin; it != end; ++it) it->second += r;
+  coalesce(t0, t1);
+}
+
+void ReservationLedger::release(SimTime t0, SimTime t1, const ResourceVector& r) {
+  VMLP_CHECK_MSG(t0 < t1, "empty release window");
+  auto begin = split_at(t0);
+  auto end = split_at(t1);
+  for (auto it = begin; it != end; ++it) {
+    it->second -= r;
+    VMLP_CHECK_MSG(!it->second.any_negative(),
+                   "release drives profile negative at t=" << it->first);
+    // Snap tiny float residue to exact zero so fits() stays sharp.
+    if (it->second.near_zero()) it->second = ResourceVector::zero();
+  }
+  coalesce(t0, t1);
+}
+
+void ReservationLedger::coalesce(SimTime t0, SimTime t1) {
+  auto it = profile_.lower_bound(t0);
+  if (it != profile_.begin()) --it;
+  while (it != profile_.end()) {
+    auto next = std::next(it);
+    if (next == profile_.end() || next->first > t1) break;
+    if (nearly_equal(it->second, next->second)) {
+      profile_.erase(next);
+    } else {
+      it = next;
+    }
+  }
+}
+
+ResourceVector ReservationLedger::usage_at(SimTime t) const {
+  auto it = profile_.upper_bound(t);
+  VMLP_CHECK_MSG(it != profile_.begin(), "time " << t << " precedes ledger origin");
+  return std::prev(it)->second;
+}
+
+ResourceVector ReservationLedger::max_usage(SimTime t0, SimTime t1) const {
+  VMLP_CHECK_MSG(t0 < t1, "empty query window");
+  ResourceVector m = usage_at(t0);
+  for (auto it = profile_.upper_bound(t0); it != profile_.end() && it->first < t1; ++it) {
+    m = m.max(it->second);
+  }
+  return m;
+}
+
+ResourceVector ReservationLedger::available(SimTime t0, SimTime t1) const {
+  return (capacity_ - max_usage(t0, t1)).max(ResourceVector::zero());
+}
+
+bool ReservationLedger::fits(SimTime t0, SimTime t1, const ResourceVector& r) const {
+  return (max_usage(t0, t1) + r).fits_within(capacity_);
+}
+
+SimTime ReservationLedger::earliest_fit(SimTime from, SimDuration duration,
+                                        const ResourceVector& r, SimTime horizon) const {
+  VMLP_CHECK(duration > 0);
+  // Candidate start times: `from` itself, then every profile boundary after
+  // it. A window can only newly fit when the usage level drops, and levels
+  // change only at boundaries.
+  SimTime t = from;
+  while (t <= horizon) {
+    if (fits(t, t + duration, r)) return t;
+    auto it = profile_.upper_bound(t);
+    if (it == profile_.end()) break;  // constant level for the rest of time
+    t = it->first;
+  }
+  return kTimeInfinity;
+}
+
+void ReservationLedger::compact_before(SimTime t) {
+  auto it = profile_.upper_bound(t);
+  if (it == profile_.begin()) return;
+  --it;  // segment covering t
+  if (it == profile_.begin()) return;
+  const ResourceVector level = it->second;
+  const SimTime key = it->first;
+  profile_.erase(profile_.begin(), it);
+  // Re-anchor the origin at the covering segment's start.
+  profile_[key] = level;
+}
+
+}  // namespace vmlp::cluster

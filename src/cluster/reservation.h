@@ -1,0 +1,68 @@
+// ReservationLedger: a machine's piecewise-constant *future* resource-usage
+// profile.
+//
+// This is the structure behind Algorithm 1's admission test
+// `Compare t → t+Δt : l_res ≥ u_res` — the self-organizing module reserves a
+// microservice's demand over its estimated execution window, so later
+// placement decisions see the machine's committed future, not just its
+// present load. Non-reserving baseline schedulers use it degenerately
+// (reserve from "now" with no lookahead).
+//
+// Representation: std::map<SimTime, ResourceVector> where each entry gives
+// the usage level from its key until the next key. The map always contains a
+// segment starting at 0 (or the compaction point).
+#pragma once
+
+#include <map>
+
+#include "cluster/resources.h"
+#include "common/types.h"
+
+namespace vmlp::cluster {
+
+class ReservationLedger {
+ public:
+  explicit ReservationLedger(ResourceVector capacity);
+
+  [[nodiscard]] const ResourceVector& capacity() const { return capacity_; }
+
+  /// Add `r` to the usage profile over [t0, t1). Overbooking is legal — the
+  /// execution model punishes it — but tracked; `fits` tells schedulers
+  /// whether the addition would stay within capacity.
+  void reserve(SimTime t0, SimTime t1, const ResourceVector& r);
+  /// Subtract `r` over [t0, t1) (e.g. an instance finished early or was
+  /// re-planned). Throws if the profile would go negative.
+  void release(SimTime t0, SimTime t1, const ResourceVector& r);
+
+  /// Usage level at time t.
+  [[nodiscard]] ResourceVector usage_at(SimTime t) const;
+  /// Component-wise max usage over [t0, t1).
+  [[nodiscard]] ResourceVector max_usage(SimTime t0, SimTime t1) const;
+  /// capacity - max_usage over the window, clamped at 0.
+  [[nodiscard]] ResourceVector available(SimTime t0, SimTime t1) const;
+  /// Algorithm 1's admission test: does `r` fit within spare capacity over
+  /// the whole window [t0, t1)?
+  [[nodiscard]] bool fits(SimTime t0, SimTime t1, const ResourceVector& r) const;
+
+  /// First time >= `from` at which `r` fits for `duration`, searching segment
+  /// boundaries up to `horizon`. Returns kTimeInfinity if none.
+  [[nodiscard]] SimTime earliest_fit(SimTime from, SimDuration duration, const ResourceVector& r,
+                                     SimTime horizon) const;
+
+  /// Drop profile detail before `t` (memory bound for long runs). The level
+  /// at `t` is preserved.
+  void compact_before(SimTime t);
+
+  [[nodiscard]] std::size_t segment_count() const { return profile_.size(); }
+
+ private:
+  /// Ensure a map key exists exactly at t, splitting the covering segment.
+  std::map<SimTime, ResourceVector>::iterator split_at(SimTime t);
+  /// Merge adjacent segments with equal levels around the touched range.
+  void coalesce(SimTime t0, SimTime t1);
+
+  ResourceVector capacity_;
+  std::map<SimTime, ResourceVector> profile_;
+};
+
+}  // namespace vmlp::cluster

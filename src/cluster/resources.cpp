@@ -1,0 +1,82 @@
+#include "cluster/resources.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace vmlp::cluster {
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  cpu += o.cpu;
+  mem += o.mem;
+  io += o.io;
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  cpu -= o.cpu;
+  mem -= o.mem;
+  io -= o.io;
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator*=(double k) {
+  cpu *= k;
+  mem *= k;
+  io *= k;
+  return *this;
+}
+
+ResourceVector ResourceVector::max(const ResourceVector& o) const {
+  return {std::max(cpu, o.cpu), std::max(mem, o.mem), std::max(io, o.io)};
+}
+
+ResourceVector ResourceVector::min(const ResourceVector& o) const {
+  return {std::min(cpu, o.cpu), std::min(mem, o.mem), std::min(io, o.io)};
+}
+
+ResourceVector ResourceVector::clamp_to(const ResourceVector& hi) const {
+  return {std::clamp(cpu, 0.0, hi.cpu), std::clamp(mem, 0.0, hi.mem), std::clamp(io, 0.0, hi.io)};
+}
+
+bool ResourceVector::fits_within(const ResourceVector& budget) const {
+  return cpu <= budget.cpu + kResourceEpsilon && mem <= budget.mem + kResourceEpsilon &&
+         io <= budget.io + kResourceEpsilon;
+}
+
+bool ResourceVector::any_negative() const {
+  return cpu < -kResourceEpsilon || mem < -kResourceEpsilon || io < -kResourceEpsilon;
+}
+
+bool ResourceVector::near_zero() const {
+  return std::abs(cpu) <= kResourceEpsilon && std::abs(mem) <= kResourceEpsilon &&
+         std::abs(io) <= kResourceEpsilon;
+}
+
+double ResourceVector::utilization_sum(const ResourceVector& capacity) const {
+  double total = 0.0;
+  if (capacity.cpu > 0) total += std::clamp(cpu / capacity.cpu, 0.0, 1.0);
+  if (capacity.mem > 0) total += std::clamp(mem / capacity.mem, 0.0, 1.0);
+  if (capacity.io > 0) total += std::clamp(io / capacity.io, 0.0, 1.0);
+  return total;
+}
+
+double ResourceVector::max_ratio_over(const ResourceVector& other) const {
+  double r = 0.0;
+  if (other.cpu > kResourceEpsilon) r = std::max(r, cpu / other.cpu);
+  else if (cpu > kResourceEpsilon) return std::numeric_limits<double>::infinity();
+  if (other.mem > kResourceEpsilon) r = std::max(r, mem / other.mem);
+  else if (mem > kResourceEpsilon) return std::numeric_limits<double>::infinity();
+  if (other.io > kResourceEpsilon) r = std::max(r, io / other.io);
+  else if (io > kResourceEpsilon) return std::numeric_limits<double>::infinity();
+  return r;
+}
+
+std::string ResourceVector::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{cpu=%.1fmC mem=%.1fMB io=%.1fMB/s}", cpu, mem, io);
+  return buf;
+}
+
+}  // namespace vmlp::cluster

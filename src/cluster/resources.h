@@ -1,0 +1,56 @@
+// Three-dimensional resource vectors: CPU (millicores), memory (MB), and IO
+// bandwidth (MB/s) — the resource types the paper monitors and controls
+// (Table III) and the dimensions of its utilization metric U.
+#pragma once
+
+#include <string>
+
+namespace vmlp::cluster {
+
+struct ResourceVector {
+  double cpu = 0.0;  ///< millicores
+  double mem = 0.0;  ///< MB
+  double io = 0.0;   ///< MB/s
+
+  static ResourceVector zero() { return {}; }
+
+  ResourceVector& operator+=(const ResourceVector& o);
+  ResourceVector& operator-=(const ResourceVector& o);
+  ResourceVector& operator*=(double k);
+
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) { return a += b; }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) { return a -= b; }
+  friend ResourceVector operator*(ResourceVector a, double k) { return a *= k; }
+  friend ResourceVector operator*(double k, ResourceVector a) { return a *= k; }
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    return a.cpu == b.cpu && a.mem == b.mem && a.io == b.io;
+  }
+
+  /// Component-wise max / min.
+  [[nodiscard]] ResourceVector max(const ResourceVector& o) const;
+  [[nodiscard]] ResourceVector min(const ResourceVector& o) const;
+  /// Clamp each component into [0, hi_component].
+  [[nodiscard]] ResourceVector clamp_to(const ResourceVector& hi) const;
+
+  /// True when every component of this fits within `budget` (<=, with a small
+  /// epsilon to absorb floating-point drift from repeated reserve/release).
+  [[nodiscard]] bool fits_within(const ResourceVector& budget) const;
+  /// True when any component is negative (beyond epsilon).
+  [[nodiscard]] bool any_negative() const;
+  /// True when every component is (near) zero.
+  [[nodiscard]] bool near_zero() const;
+
+  /// Sum of per-component utilization fractions vs. `capacity` (each clamped
+  /// to [0,1]); divide by 3 for the paper's per-node efficiency term.
+  [[nodiscard]] double utilization_sum(const ResourceVector& capacity) const;
+
+  /// Largest component-wise ratio this/other over components where other > 0.
+  /// Used for bottleneck factors (demand / allocation).
+  [[nodiscard]] double max_ratio_over(const ResourceVector& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+inline constexpr double kResourceEpsilon = 1e-6;
+
+}  // namespace vmlp::cluster

@@ -1,0 +1,149 @@
+#include "common/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vmlp {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        throw ConfigError("config line " + std::to_string(lineno) + ": unterminated section");
+      }
+      section = trim(t.substr(1, t.size() - 2));
+      if (section.empty()) {
+        throw ConfigError("config line " + std::to_string(lineno) + ": empty section name");
+      }
+      continue;
+    }
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("config line " + std::to_string(lineno) + ": expected key = value");
+    }
+    std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) {
+      throw ConfigError("config line " + std::to_string(lineno) + ": empty key");
+    }
+    if (!section.empty()) key = section + "." + key;
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) { values_[key] = value; }
+void Config::set_int(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+void Config::set_double(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  values_[key] = os.str();
+}
+void Config::set_bool(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool Config::contains(const std::string& key) const { return values_.count(key) > 0; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  auto v = get(key);
+  return v ? *v : fallback;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw ConfigError("config key '" + key + "': not an integer: " + *v);
+  }
+  return parsed;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw ConfigError("config key '" + key + "': not a number: " + *v);
+  }
+  return parsed;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw ConfigError("config key '" + key + "': not a boolean: " + *v);
+}
+
+std::string Config::require_string(const std::string& key) const {
+  auto v = get(key);
+  if (!v) throw ConfigError("missing required config key: " + key);
+  return *v;
+}
+
+std::int64_t Config::require_int(const std::string& key) const {
+  if (!contains(key)) throw ConfigError("missing required config key: " + key);
+  return get_int(key, 0);
+}
+
+double Config::require_double(const std::string& key) const {
+  if (!contains(key)) throw ConfigError("missing required config key: " + key);
+  return get_double(key, 0.0);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+}  // namespace vmlp

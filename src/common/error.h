@@ -1,0 +1,48 @@
+// Error handling helpers: checked invariants that throw, debug assertions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vmlp {
+
+/// Thrown when a VMLP_CHECK invariant fails.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on malformed user-facing configuration.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace vmlp
+
+/// Always-on invariant check; throws InvariantError on failure.
+#define VMLP_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) ::vmlp::detail::throw_invariant(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Always-on invariant check with a streamed message.
+#define VMLP_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream vmlp_os_;                                       \
+      vmlp_os_ << msg;                                                   \
+      ::vmlp::detail::throw_invariant(#expr, __FILE__, __LINE__, vmlp_os_.str()); \
+    }                                                                    \
+  } while (0)

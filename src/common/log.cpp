@@ -1,0 +1,33 @@
+#include "common/log.h"
+
+namespace vmlp {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  out << "[" << log_level_name(level) << "] " << message << '\n';
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
+}  // namespace vmlp

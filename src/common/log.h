@@ -1,0 +1,52 @@
+// Minimal leveled logger. The simulator is hot-path sensitive, so log calls
+// below the active level cost one branch; message formatting is lazy.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace vmlp {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+  /// Redirect output (tests use this to capture log lines). Pass nullptr to
+  /// restore stderr.
+  void set_sink(std::ostream* sink);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+  std::mutex mutex_;
+};
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace vmlp
+
+#define VMLP_LOG(level, expr)                                     \
+  do {                                                            \
+    if (::vmlp::Logger::instance().enabled(level)) {              \
+      std::ostringstream vmlp_log_os_;                            \
+      vmlp_log_os_ << expr;                                       \
+      ::vmlp::Logger::instance().write(level, vmlp_log_os_.str()); \
+    }                                                             \
+  } while (0)
+
+#define VMLP_TRACE(expr) VMLP_LOG(::vmlp::LogLevel::kTrace, expr)
+#define VMLP_DEBUG(expr) VMLP_LOG(::vmlp::LogLevel::kDebug, expr)
+#define VMLP_INFO(expr) VMLP_LOG(::vmlp::LogLevel::kInfo, expr)
+#define VMLP_WARN(expr) VMLP_LOG(::vmlp::LogLevel::kWarn, expr)
+#define VMLP_ERROR(expr) VMLP_LOG(::vmlp::LogLevel::kError, expr)

@@ -1,0 +1,61 @@
+// Fixed-size thread pool used to run experiment sweeps in parallel.
+//
+// The simulator itself is single-threaded per run (determinism); parallelism
+// lives at the sweep level: one simulation per task, one deterministic seed
+// per cell. parallel_for partitions an index range across the pool and blocks
+// until every chunk completes, rethrowing the first exception raised.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vmlp {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; the future reports its result or exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run body(i) for i in [begin, end) across the pool; blocks until done.
+  /// Rethrows the first exception. Chunked to limit task overhead.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace vmlp

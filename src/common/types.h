@@ -1,0 +1,77 @@
+// Core value types shared by every subsystem: simulated time, strong ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace vmlp {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Simulated duration in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kUsec = 1;
+inline constexpr SimDuration kMsec = 1000 * kUsec;
+inline constexpr SimDuration kSec = 1000 * kMsec;
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::max();
+
+/// Render a SimTime/SimDuration as a human-readable string ("12.345ms").
+std::string format_time(SimTime t);
+
+/// Strongly-typed integral id. Tag disambiguates id spaces at compile time.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+
+ private:
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalid;
+};
+
+struct MachineTag {};
+struct ServiceTypeTag {};
+struct RequestTypeTag {};
+struct RequestTag {};
+struct InstanceTag {};
+struct ContainerTag {};
+
+/// One physical machine (node) in the simulated cluster.
+using MachineId = StrongId<MachineTag>;
+/// A microservice *type* (e.g. "order", "post-storage").
+using ServiceTypeId = StrongId<ServiceTypeTag>;
+/// A request *type* (e.g. "compose-post").
+using RequestTypeId = StrongId<RequestTypeTag>;
+/// One in-flight request instance.
+using RequestId = StrongId<RequestTag, std::uint64_t>;
+/// One microservice invocation within a request instance.
+using InstanceId = StrongId<InstanceTag, std::uint64_t>;
+/// One container (a placed microservice invocation on a machine).
+using ContainerId = StrongId<ContainerTag, std::uint64_t>;
+
+}  // namespace vmlp
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<vmlp::StrongId<Tag, Rep>> {
+  size_t operator()(vmlp::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

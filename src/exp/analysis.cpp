@@ -1,0 +1,116 @@
+#include "exp/analysis.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace vmlp::exp {
+
+double TypeBreakdown::handoff_share() const {
+  if (requests == 0 || total.mean() <= 0.0) return 0.0;
+  return handoff.mean() / total.mean();
+}
+
+std::string TypeBreakdown::dominant_service(const app::Application& application) const {
+  std::size_t best_node = 0;
+  std::size_t best_count = 0;
+  for (const auto& [node, count] : dominant_counts) {
+    if (count > best_count || (count == best_count && node < best_node)) {
+      best_node = node;
+      best_count = count;
+    }
+  }
+  if (best_count == 0) return "-";
+  const auto& rt = application.request(type);
+  return application.service(rt.nodes()[best_node].service).name;
+}
+
+std::optional<RequestBreakdown> analyze_request(const trace::Tracer& tracer,
+                                                const app::Application& application,
+                                                RequestId id) {
+  const trace::RequestRecord* rec = tracer.find_request(id);
+  if (rec == nullptr || !rec->finished()) return std::nullopt;
+  const auto& rt = application.request(rec->type);
+  const auto spans = tracer.spans_of(id);
+  if (spans.size() != rt.size()) return std::nullopt;
+
+  // Map DAG node -> span. Our request types never invoke the same service
+  // twice, so the service id identifies the node.
+  std::vector<const trace::Span*> by_node(rt.size(), nullptr);
+  for (const auto* s : spans) {
+    for (std::size_t n = 0; n < rt.size(); ++n) {
+      if (rt.nodes()[n].service == s->service && by_node[n] == nullptr) {
+        by_node[n] = s;
+        break;
+      }
+    }
+  }
+  for (const auto* s : by_node) {
+    if (s == nullptr) return std::nullopt;
+  }
+
+  // Critical path: walk back from the last-finishing sink through the
+  // latest-finishing parent of each stage.
+  std::size_t cursor = 0;
+  SimTime best_end = -1;
+  for (std::size_t n = 0; n < rt.size(); ++n) {
+    if (rt.dag().children(n).empty() && by_node[n]->end > best_end) {
+      best_end = by_node[n]->end;
+      cursor = n;
+    }
+  }
+
+  RequestBreakdown out;
+  out.id = id;
+  out.type = rec->type;
+  out.total = rec->latency();
+
+  SimDuration longest_stage = -1;
+  for (;;) {
+    const trace::Span* span = by_node[cursor];
+    out.execution += span->duration();
+    if (span->duration() > longest_stage) {
+      longest_stage = span->duration();
+      out.dominant_stage = cursor;
+    }
+    const auto& parents = rt.dag().parents(cursor);
+    if (parents.empty()) {
+      out.ingress = span->start - rec->arrival;
+      break;
+    }
+    std::size_t latest = parents.front();
+    for (std::size_t p : parents) {
+      if (by_node[p]->end > by_node[latest]->end) latest = p;
+    }
+    out.handoff += span->start - by_node[latest]->end;
+    cursor = latest;
+  }
+  return out;
+}
+
+std::vector<TypeBreakdown> analyze_all(const trace::Tracer& tracer,
+                                       const app::Application& application) {
+  std::map<std::uint32_t, TypeBreakdown> by_type;
+  for (const auto* rec : tracer.requests()) {
+    const auto breakdown = analyze_request(tracer, application, rec->id);
+    if (!breakdown.has_value()) continue;
+    TypeBreakdown& agg = by_type[rec->type.value()];
+    if (agg.requests == 0) {
+      agg.type = rec->type;
+      agg.name = application.request(rec->type).name();
+    }
+    ++agg.requests;
+    agg.total.add(static_cast<double>(breakdown->total));
+    agg.ingress.add(static_cast<double>(breakdown->ingress));
+    agg.execution.add(static_cast<double>(breakdown->execution));
+    agg.handoff.add(static_cast<double>(breakdown->handoff));
+    ++agg.dominant_counts[breakdown->dominant_stage];
+  }
+  std::vector<TypeBreakdown> out;
+  out.reserve(by_type.size());
+  for (auto& [key, agg] : by_type) out.push_back(std::move(agg));
+  return out;
+}
+
+}  // namespace vmlp::exp

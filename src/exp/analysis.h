@@ -1,0 +1,65 @@
+// Post-run trace analysis: where did each request's end-to-end time go?
+//
+// From the tracer's spans and the request DAG we decompose latency into
+//   execution — time inside microservices on the critical path,
+//   handoff    — gaps between a stage and its latest-finishing parent
+//                (communication + scheduling wait + misalignment),
+//   ingress    — arrival to first span start.
+// Misaligned pipelines show up as fat handoff shares — exactly the waste MLP
+// targets — so the breakdown quantifies *why* one scheduler beats another,
+// not just that it does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "app/application.h"
+#include "stats/summary.h"
+#include "trace/tracer.h"
+
+namespace vmlp::exp {
+
+/// Latency decomposition of one completed request.
+struct RequestBreakdown {
+  RequestId id;
+  RequestTypeId type;
+  SimDuration total = 0;      ///< end-to-end latency
+  SimDuration ingress = 0;    ///< arrival -> first span start
+  SimDuration execution = 0;  ///< critical-path span time
+  SimDuration handoff = 0;    ///< critical-path inter-stage gaps
+  /// Node index (in the request DAG) of the longest critical-path stage.
+  std::size_t dominant_stage = 0;
+};
+
+/// Aggregated decomposition for one request type.
+struct TypeBreakdown {
+  RequestTypeId type;
+  std::string name;
+  std::size_t requests = 0;
+  stats::Summary total;
+  stats::Summary ingress;
+  stats::Summary execution;
+  stats::Summary handoff;
+  /// dominant-stage frequency by node index.
+  std::unordered_map<std::size_t, std::size_t> dominant_counts;
+
+  /// Fraction of mean end-to-end time spent in handoffs.
+  [[nodiscard]] double handoff_share() const;
+  /// Name of the most frequently dominant microservice.
+  [[nodiscard]] std::string dominant_service(const app::Application& application) const;
+};
+
+/// Decompose one completed request; nullopt if it did not finish or its
+/// span set is incomplete.
+std::optional<RequestBreakdown> analyze_request(const trace::Tracer& tracer,
+                                                const app::Application& application,
+                                                RequestId id);
+
+/// Aggregate breakdowns for every completed request, keyed by request type
+/// (ordered by request-type id).
+std::vector<TypeBreakdown> analyze_all(const trace::Tracer& tracer,
+                                       const app::Application& application);
+
+}  // namespace vmlp::exp

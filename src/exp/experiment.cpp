@@ -1,0 +1,112 @@
+#include "exp/experiment.h"
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "loadgen/generator.h"
+#include "mlp/vmlp.h"
+#include "sched/cur_sched.h"
+#include "sched/fair_sched.h"
+#include "sched/full_profile.h"
+#include "sched/part_profile.h"
+#include "workloads/suite.h"
+
+namespace vmlp::exp {
+
+const char* scheme_name(SchemeKind scheme) {
+  switch (scheme) {
+    case SchemeKind::kFairSched: return "FairSched";
+    case SchemeKind::kCurSched: return "CurSched";
+    case SchemeKind::kPartProfile: return "PartProfile";
+    case SchemeKind::kFullProfile: return "FullProfile";
+    case SchemeKind::kVmlp: return "v-MLP";
+  }
+  return "?";
+}
+
+std::vector<SchemeKind> all_schemes() {
+  return {SchemeKind::kFairSched, SchemeKind::kCurSched, SchemeKind::kPartProfile,
+          SchemeKind::kFullProfile, SchemeKind::kVmlp};
+}
+
+std::unique_ptr<sched::IScheduler> make_scheduler(SchemeKind scheme, const mlp::VmlpParams& vmlp,
+                                                  std::uint64_t seed) {
+  switch (scheme) {
+    case SchemeKind::kFairSched: return std::make_unique<sched::FairSched>();
+    case SchemeKind::kCurSched: return std::make_unique<sched::CurSched>();
+    case SchemeKind::kPartProfile: return std::make_unique<sched::PartProfile>();
+    case SchemeKind::kFullProfile: return std::make_unique<sched::FullProfile>();
+    case SchemeKind::kVmlp: return std::make_unique<mlp::VmlpScheduler>(vmlp, seed);
+  }
+  VMLP_CHECK_MSG(false, "unknown scheme");
+  return nullptr;
+}
+
+const char* stream_name(StreamKind stream) {
+  switch (stream) {
+    case StreamKind::kLowVr: return "low-Vr";
+    case StreamKind::kMidVr: return "mid-Vr";
+    case StreamKind::kHighVr: return "high-Vr";
+    case StreamKind::kMixed: return "mixed";
+    case StreamKind::kHighRatio: return "high-ratio";
+  }
+  return "?";
+}
+
+namespace {
+
+loadgen::RequestMix make_mix(const app::Application& application, StreamKind stream,
+                             double high_ratio) {
+  switch (stream) {
+    case StreamKind::kLowVr:
+      return loadgen::RequestMix::category(application, app::VolatilityBand::kLow);
+    case StreamKind::kMidVr:
+      return loadgen::RequestMix::category(application, app::VolatilityBand::kMid);
+    case StreamKind::kHighVr:
+      return loadgen::RequestMix::category(application, app::VolatilityBand::kHigh);
+    case StreamKind::kMixed:
+      return loadgen::RequestMix::all(application);
+    case StreamKind::kHighRatio:
+      return loadgen::RequestMix::with_high_ratio(application, high_ratio);
+  }
+  VMLP_CHECK_MSG(false, "unknown stream kind");
+  return {};
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  auto application = workloads::make_benchmark_suite();
+
+  sched::DriverParams driver_params = config.driver;
+  driver_params.seed = config.seed;
+
+  loadgen::PatternParams pattern_params = config.pattern_params;
+  pattern_params.horizon = driver_params.horizon;
+
+  const auto pattern = loadgen::WorkloadPattern::make(config.pattern, pattern_params,
+                                                      Rng(config.seed).fork("pattern").seed());
+  const auto mix = make_mix(*application, config.stream, config.high_ratio);
+  Rng arrival_rng = Rng(config.seed).fork("arrivals");
+  const auto arrivals = loadgen::generate_arrivals(pattern, mix, arrival_rng, config.qps_scale);
+
+  auto scheduler = make_scheduler(config.scheme, config.vmlp, config.seed);
+  sched::SimulationDriver driver(*application, *scheduler, driver_params);
+  driver.load_arrivals(arrivals);
+
+  ExperimentResult result;
+  result.config = config;
+  result.run = driver.run();
+  result.utilization_series = driver.cluster_monitor().overall_series().mean_series();
+  return result;
+}
+
+std::vector<ExperimentResult> run_grid(const std::vector<ExperimentConfig>& grid,
+                                       std::size_t threads) {
+  std::vector<ExperimentResult> results(grid.size());
+  ThreadPool pool(threads);
+  pool.parallel_for(0, grid.size(),
+                    [&](std::size_t i) { results[i] = run_experiment(grid[i]); });
+  return results;
+}
+
+}  // namespace vmlp::exp

@@ -1,0 +1,59 @@
+// Experiment harness: one simulation run = (scheme, workload pattern,
+// request stream, QPS scale, seed) over the combined SN+TT benchmark suite
+// on the 100-machine simulated cluster of Section V.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loadgen/patterns.h"
+#include "mlp/metrics.h"
+#include "sched/driver.h"
+#include "sched/scheduler.h"
+
+namespace vmlp::exp {
+
+enum class SchemeKind { kFairSched, kCurSched, kPartProfile, kFullProfile, kVmlp };
+
+const char* scheme_name(SchemeKind scheme);
+/// The five evaluated schemes, in Table VI order.
+std::vector<SchemeKind> all_schemes();
+/// Instantiate a scheduler policy. `vmlp` configures v-MLP (and its ablation
+/// switches); ignored for baselines.
+std::unique_ptr<sched::IScheduler> make_scheduler(SchemeKind scheme,
+                                                  const mlp::VmlpParams& vmlp = {},
+                                                  std::uint64_t seed = 7);
+
+/// Which request stream feeds the run (Section V's experiment axes).
+enum class StreamKind { kLowVr, kMidVr, kHighVr, kMixed, kHighRatio };
+
+const char* stream_name(StreamKind stream);
+
+struct ExperimentConfig {
+  SchemeKind scheme = SchemeKind::kVmlp;
+  loadgen::PatternKind pattern = loadgen::PatternKind::kL1Pulse;
+  StreamKind stream = StreamKind::kMixed;
+  double high_ratio = 0.5;  ///< used only with StreamKind::kHighRatio
+  double qps_scale = 1.0;
+  std::uint64_t seed = 1;
+  sched::DriverParams driver;
+  mlp::VmlpParams vmlp;
+  loadgen::PatternParams pattern_params;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  sched::RunResult run;
+  std::vector<double> utilization_series;  ///< U per monitor bucket (Fig. 11)
+};
+
+/// Execute one configuration (thread-safe: every run owns its world).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Execute a grid of configurations in parallel over a thread pool
+/// (0 threads = hardware concurrency). Results align with the input order.
+std::vector<ExperimentResult> run_grid(const std::vector<ExperimentConfig>& grid,
+                                       std::size_t threads = 0);
+
+}  // namespace vmlp::exp

@@ -1,0 +1,91 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace vmlp::exp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  VMLP_CHECK_MSG(!header_.empty(), "table needs a header");
+}
+
+void Table::row(std::vector<std::string> cells) {
+  VMLP_CHECK_MSG(cells.size() == header_.size(),
+                 "row has " << cells.size() << " cells, header has " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_ms(double microseconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fms", precision, microseconds / 1000.0);
+  return buf;
+}
+
+double normalize(double value, double baseline) {
+  constexpr double kTiny = 1e-12;
+  if (std::abs(baseline) < kTiny) return std::abs(value) < kTiny ? 1.0 : 999.0;
+  return value / baseline;
+}
+
+std::string ascii_series(const std::vector<double>& values, std::size_t width) {
+  if (values.empty() || width == 0) return "";
+  static const char* kBlocks[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  const double maxv = *std::max_element(values.begin(), values.end());
+  std::string out;
+  const std::size_t n = std::min(width, values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Downsample by averaging each bucket of the series.
+    const std::size_t lo = i * values.size() / n;
+    const std::size_t hi = std::max(lo + 1, (i + 1) * values.size() / n);
+    double sum = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) sum += values[j];
+    const double v = sum / static_cast<double>(hi - lo);
+    const int level =
+        maxv <= 0.0 ? 0 : static_cast<int>(std::lround(v / maxv * 8.0));
+    out += kBlocks[std::clamp(level, 0, 8)];
+  }
+  return out;
+}
+
+void print_section(const std::string& title, std::ostream& out) {
+  out << '\n' << "=== " << title << " ===\n";
+}
+
+}  // namespace vmlp::exp

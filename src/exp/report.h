@@ -1,0 +1,44 @@
+// Result-table printing shared by the bench binaries: fixed-width columns,
+// normalization helpers, and simple ASCII series rendering for the
+// figure-shaped outputs.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace vmlp::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; cells are pre-formatted strings.
+  void row(std::vector<std::string> cells);
+  /// Print with aligned columns to `out`.
+  void print(std::ostream& out = std::cout) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_percent(double fraction, int precision = 1);
+std::string fmt_ms(double microseconds, int precision = 2);
+
+/// value / baseline, guarding a zero baseline (returns 1 when both are ~0,
+/// a large sentinel when only the baseline is ~0).
+double normalize(double value, double baseline);
+
+/// Render a numeric series as a compact sparkline-style ASCII bar chart, one
+/// line of block characters scaled to max. Useful for rate/utilization series.
+std::string ascii_series(const std::vector<double>& values, std::size_t width = 80);
+
+/// Print a titled section separator.
+void print_section(const std::string& title, std::ostream& out = std::cout);
+
+}  // namespace vmlp::exp

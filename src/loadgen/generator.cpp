@@ -1,0 +1,84 @@
+#include "loadgen/generator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vmlp::loadgen {
+
+RequestMix::RequestMix(std::vector<MixEntry> entries) : entries_(std::move(entries)) {
+  for (const auto& e : entries_) VMLP_CHECK_MSG(e.weight >= 0.0, "negative mix weight");
+}
+
+void RequestMix::add(RequestTypeId type, double weight) {
+  VMLP_CHECK_MSG(weight >= 0.0, "negative mix weight");
+  entries_.push_back(MixEntry{type, weight});
+}
+
+RequestTypeId RequestMix::sample(Rng& rng) const {
+  VMLP_CHECK_MSG(!entries_.empty(), "sampling from an empty mix");
+  std::vector<double> weights;
+  weights.reserve(entries_.size());
+  for (const auto& e : entries_) weights.push_back(e.weight);
+  return entries_[rng.weighted_index(weights)].type;
+}
+
+RequestMix RequestMix::category(const app::Application& application, app::VolatilityBand band) {
+  RequestMix mix;
+  for (const auto& rt : application.requests()) {
+    if (application.band(rt.id()) == band) mix.add(rt.id(), 1.0);
+  }
+  VMLP_CHECK_MSG(!mix.empty(), "application '" << application.name() << "' has no "
+                                               << app::band_name(band) << "-V_r request types");
+  return mix;
+}
+
+RequestMix RequestMix::all(const app::Application& application) {
+  RequestMix mix;
+  for (const auto& rt : application.requests()) mix.add(rt.id(), 1.0);
+  VMLP_CHECK_MSG(!mix.empty(), "application has no request types");
+  return mix;
+}
+
+RequestMix RequestMix::with_high_ratio(const app::Application& application, double high_ratio) {
+  VMLP_CHECK_MSG(high_ratio >= 0.0 && high_ratio <= 1.0, "high_ratio=" << high_ratio);
+  std::vector<RequestTypeId> high;
+  std::vector<RequestTypeId> rest;
+  for (const auto& rt : application.requests()) {
+    (application.band(rt.id()) == app::VolatilityBand::kHigh ? high : rest).push_back(rt.id());
+  }
+  VMLP_CHECK_MSG(!high.empty() && !rest.empty(),
+                 "need both high- and non-high-V_r request types for a ratio mix");
+  RequestMix mix;
+  for (auto id : high) mix.add(id, high_ratio / static_cast<double>(high.size()));
+  for (auto id : rest) mix.add(id, (1.0 - high_ratio) / static_cast<double>(rest.size()));
+  return mix;
+}
+
+std::vector<Arrival> generate_arrivals(const WorkloadPattern& pattern, const RequestMix& mix,
+                                       Rng& rng, double qps_scale) {
+  VMLP_CHECK_MSG(qps_scale > 0.0, "qps_scale must be positive");
+  VMLP_CHECK_MSG(!mix.empty(), "empty request mix");
+
+  const double envelope = pattern.peak_rate() * qps_scale;  // req/s upper bound
+  const SimTime horizon = pattern.params().horizon;
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(pattern.expected_arrivals() * qps_scale * 1.1));
+
+  // Thinning: candidate arrivals from a homogeneous process at the envelope
+  // rate, accepted with probability rate(t)/envelope.
+  double t_sec = 0.0;
+  const double horizon_sec = static_cast<double>(horizon) / kSec;
+  while (true) {
+    t_sec += rng.exponential_mean(1.0 / envelope);
+    if (t_sec >= horizon_sec) break;
+    const auto t = static_cast<SimTime>(std::llround(t_sec * kSec));
+    const double accept = pattern.rate_at(t) * qps_scale / envelope;
+    if (rng.bernoulli(accept)) {
+      arrivals.push_back(Arrival{t, mix.sample(rng)});
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace vmlp::loadgen

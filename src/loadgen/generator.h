@@ -1,0 +1,58 @@
+// Arrival generation: a non-homogeneous Poisson process over a workload
+// pattern (thinning method), with a request-type mix.
+//
+// Mix helpers mirror the paper's experiment setups: category streams where
+// every request type of one V_r category takes an equal share (Table V), the
+// mixed stream of Fig. 12, and the high-V_r-ratio sweeps of Fig. 14.
+#pragma once
+
+#include <vector>
+
+#include "app/application.h"
+#include "common/rng.h"
+#include "loadgen/patterns.h"
+
+namespace vmlp::loadgen {
+
+struct Arrival {
+  SimTime time = 0;
+  RequestTypeId type;
+};
+
+struct MixEntry {
+  RequestTypeId type;
+  double weight = 1.0;
+};
+
+class RequestMix {
+ public:
+  RequestMix() = default;
+  explicit RequestMix(std::vector<MixEntry> entries);
+
+  void add(RequestTypeId type, double weight);
+  [[nodiscard]] const std::vector<MixEntry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Draw one request type proportionally to the weights.
+  [[nodiscard]] RequestTypeId sample(Rng& rng) const;
+
+  /// Equal-share mix over all request types of `band` in `application`
+  /// ("different types of requests in one category take up the same portion").
+  static RequestMix category(const app::Application& application, app::VolatilityBand band);
+  /// Equal-share mix over every request type of `application`.
+  static RequestMix all(const app::Application& application);
+  /// Mix with `high_ratio` of high-V_r requests, remainder spread equally
+  /// over the non-high types (the Fig. 14 sweep).
+  static RequestMix with_high_ratio(const app::Application& application, double high_ratio);
+
+ private:
+  std::vector<MixEntry> entries_;
+};
+
+/// Generate arrivals over the pattern's horizon via thinning. `qps_scale`
+/// proportionally scales the rate curve (the Fig. 12 workload levels).
+/// Result is sorted by time.
+std::vector<Arrival> generate_arrivals(const WorkloadPattern& pattern, const RequestMix& mix,
+                                       Rng& rng, double qps_scale = 1.0);
+
+}  // namespace vmlp::loadgen

@@ -1,0 +1,107 @@
+#include "loadgen/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace vmlp::loadgen {
+
+const char* pattern_name(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kL1Pulse: return "L1";
+    case PatternKind::kL2Fluctuating: return "L2";
+    case PatternKind::kL3Periodic: return "L3";
+  }
+  return "?";
+}
+
+WorkloadPattern::WorkloadPattern(PatternKind kind, PatternParams params)
+    : kind_(kind), params_(params) {
+  VMLP_CHECK(params_.horizon > 0);
+  VMLP_CHECK(params_.max_rate > 0 && params_.base_rate > 0 &&
+             params_.base_rate <= params_.max_rate);
+  VMLP_CHECK(params_.peak_time >= 0 && params_.peak_time < params_.horizon);
+}
+
+WorkloadPattern WorkloadPattern::make(PatternKind kind, const PatternParams& params,
+                                      std::uint64_t seed) {
+  WorkloadPattern p(kind, params);
+  if (kind == PatternKind::kL2Fluctuating) {
+    VMLP_CHECK(params.segment > 0);
+    Rng rng(seed);
+    const auto segments =
+        static_cast<std::size_t>((params.horizon + params.segment - 1) / params.segment);
+    p.l2_levels_.reserve(segments);
+    double level = params.base_rate * 1.6;
+    for (std::size_t i = 0; i < segments; ++i) {
+      level += rng.uniform(-params.l2_max_step, params.l2_max_step);
+      level = std::clamp(level, params.l2_min_rate, params.max_rate);
+      p.l2_levels_.push_back(level);
+    }
+    // Force the main load peak at peak_time so every pattern stresses the
+    // cluster at the same instant (Fig. 11's 40th second).
+    const auto peak_seg = static_cast<std::size_t>(params.peak_time / params.segment);
+    for (std::size_t i = peak_seg; i < std::min(segments, peak_seg + 3); ++i) {
+      p.l2_levels_[i] = params.max_rate * rng.uniform(0.92, 1.0);
+    }
+  }
+  return p;
+}
+
+double WorkloadPattern::rate_at(SimTime t) const {
+  if (t < 0 || t >= params_.horizon) return 0.0;
+  switch (kind_) {
+    case PatternKind::kL1Pulse: {
+      // Smooth pulse: raised cosine centered on the peak.
+      const double half = static_cast<double>(params_.pulse_width) / 2.0;
+      const double d = std::abs(static_cast<double>(t - params_.peak_time));
+      if (d >= half) return params_.base_rate;
+      const double shape = 0.5 * (1.0 + std::cos(std::numbers::pi * d / half));
+      return params_.base_rate + (params_.max_rate - params_.base_rate) * shape;
+    }
+    case PatternKind::kL2Fluctuating: {
+      const auto seg = static_cast<std::size_t>(t / params_.segment);
+      return l2_levels_[std::min(seg, l2_levels_.size() - 1)];
+    }
+    case PatternKind::kL3Periodic: {
+      // Plateaus aligned so one covers the peak instant.
+      const SimTime start_offset = params_.peak_time - params_.plateau / 2;
+      SimTime phase = (t - start_offset) % params_.period;
+      if (phase < 0) phase += params_.period;
+      if (phase < params_.plateau) return params_.max_rate * 0.95;
+      // Smooth shoulders on either side of the plateau.
+      const double edge = static_cast<double>(params_.period - params_.plateau) / 4.0;
+      const double after = static_cast<double>(phase - params_.plateau);
+      const double before = static_cast<double>(params_.period - phase);
+      const double near_edge = std::min(after, before);
+      if (near_edge < edge) {
+        const double shape = 0.5 * (1.0 + std::cos(std::numbers::pi * near_edge / edge));
+        return params_.base_rate + (params_.max_rate * 0.95 - params_.base_rate) * shape;
+      }
+      return params_.base_rate;
+    }
+  }
+  return 0.0;
+}
+
+double WorkloadPattern::peak_rate() const { return params_.max_rate; }
+
+double WorkloadPattern::expected_arrivals() const {
+  const SimDuration step = 10 * kMsec;
+  double total = 0.0;
+  for (SimTime t = 0; t < params_.horizon; t += step) {
+    total += rate_at(t) * (static_cast<double>(step) / kSec);
+  }
+  return total;
+}
+
+std::vector<double> WorkloadPattern::rate_series(SimDuration step) const {
+  VMLP_CHECK(step > 0);
+  std::vector<double> out;
+  for (SimTime t = 0; t < params_.horizon; t += step) out.push_back(rate_at(t));
+  return out;
+}
+
+}  // namespace vmlp::loadgen

@@ -1,0 +1,30 @@
+// Arrival-trace persistence: save a generated request stream to CSV and
+// replay it later — the "realistic traces as input" path of the paper's
+// trace-driven evaluation (Fig. 8), decoupled from the synthetic generator.
+//
+// Format: header `time_us,request_type` followed by one row per arrival,
+// request types by *name* so traces survive application re-ordering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "app/application.h"
+#include "loadgen/generator.h"
+
+namespace vmlp::loadgen {
+
+/// Write arrivals as CSV (types by name).
+void save_arrivals_csv(const std::vector<Arrival>& arrivals, const app::Application& application,
+                       std::ostream& out);
+void save_arrivals_csv_file(const std::vector<Arrival>& arrivals,
+                            const app::Application& application, const std::string& path);
+
+/// Parse arrivals from CSV. Throws ConfigError on malformed rows or unknown
+/// request-type names. Result is sorted by time.
+std::vector<Arrival> load_arrivals_csv(const app::Application& application, std::istream& in);
+std::vector<Arrival> load_arrivals_csv_file(const app::Application& application,
+                                            const std::string& path);
+
+}  // namespace vmlp::loadgen

@@ -1,0 +1,52 @@
+#include "mlp/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "app/volatility.h"
+#include "common/error.h"
+
+namespace vmlp::mlp {
+
+double x_percent(double v_r, SimDuration slo, SimDuration max_slo) {
+  VMLP_CHECK_MSG(slo > 0 && max_slo >= slo, "bad SLO pair: " << slo << " / " << max_slo);
+  VMLP_CHECK_MSG(v_r >= 0.0 && v_r <= 1.0 + 1e-9, "V_r out of range");
+  // SLA term: tighter SLOs (small slo/max_slo) need fresher, larger windows.
+  const double sla = static_cast<double>(max_slo) / static_cast<double>(slo);
+  return std::clamp(100.0 * v_r * std::min(sla, 2.0) / 2.0, 1.0, 100.0);
+}
+
+double reorder_ratio(double v_r, SimDuration slo, SimDuration waited, SimDuration dt0,
+                     SimDuration ref_dt) {
+  VMLP_CHECK(slo > 0 && dt0 > 0 && ref_dt > 0);
+  VMLP_CHECK(waited >= 0);
+  const double urgency = static_cast<double>(waited + kMsec) / static_cast<double>(slo);
+  const double sjf = static_cast<double>(ref_dt) / static_cast<double>(dt0);
+  const double s = v_r * urgency * sjf;
+  return s / (1.0 + s);
+}
+
+SimDuration estimate_slack(const trace::ProfileStore& profiles, ServiceTypeId service,
+                           RequestTypeId request_type, double v_r, double x,
+                           SimDuration fallback, const VmlpParams& params) {
+  std::optional<SimDuration> est;
+  if (!params.volatility_aware) {
+    est = profiles.mean_exec(service, request_type);
+  } else {
+    switch (app::volatility_band(v_r)) {
+      case app::VolatilityBand::kLow:
+        // Δt directly determined by historical value: the max slack column.
+        est = profiles.max_slack(service, request_type);
+        break;
+      case app::VolatilityBand::kMid:
+        est = profiles.quantile_of_recent(service, request_type, params.mid_quantile, x);
+        break;
+      case app::VolatilityBand::kHigh:
+        est = profiles.quantile_of_recent(service, request_type, params.high_quantile, x);
+        break;
+    }
+  }
+  return std::max<SimDuration>(1, est.value_or(fallback));
+}
+
+}  // namespace vmlp::mlp

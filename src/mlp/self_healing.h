@@ -1,0 +1,55 @@
+// Self-healing module (Section III-F, Fig. 7).
+//
+// When a planned microservice has not started by its planned time, its
+// reserved window is a resource vacancy. Two mechanisms restore the pipeline:
+//
+//  * Delay slot — fill the vacancy with candidates that cannot conflict with
+//    executing or late-invoking microservices: ready-but-unplaced nodes of
+//    executing requests that are independent of all active nodes, and whole
+//    requests from the back of the waiting queue (in reorder-ratio order).
+//  * Resource stretch — when the slot finds no candidates, reassign the late
+//    node's idle resources to microservices already executing on the machine,
+//    prioritized by earliest deadline first and then highest resource
+//    sensitivity (Fig. 3(c)'s "highly variable first").
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mlp/interface_layer.h"
+#include "mlp/metrics.h"
+#include "mlp/self_organizing.h"
+
+namespace vmlp::mlp {
+
+class SelfHealing {
+ public:
+  SelfHealing(InterfaceLayer& iface, const VmlpParams& params);
+
+  /// React to a late invocation of `node` of request `id`.
+  /// `waiting` is the waiting queue in descending reorder-ratio order;
+  /// `ready_extras` are ready-but-unplaced nodes of executing requests.
+  /// Returns the number of healing actions taken (fills + stretches).
+  std::size_t on_late(RequestId id, std::size_t node, const std::vector<RequestId>& waiting,
+                      const std::vector<std::pair<RequestId, std::size_t>>& ready_extras,
+                      SelfOrganizing& organizer);
+
+  [[nodiscard]] std::size_t delay_slot_fills() const { return delay_slot_fills_; }
+  [[nodiscard]] std::size_t request_fills() const { return request_fills_; }
+  [[nodiscard]] std::size_t stretches() const { return stretches_; }
+
+ private:
+  std::size_t fill_delay_slot(MachineId machine, SimTime vacancy_end,
+                              const std::vector<RequestId>& waiting,
+                              const std::vector<std::pair<RequestId, std::size_t>>& ready_extras,
+                              SelfOrganizing& organizer);
+  std::size_t stretch_resources(MachineId machine, const cluster::ResourceVector& freed);
+
+  InterfaceLayer* iface_;
+  VmlpParams params_;
+  std::size_t delay_slot_fills_ = 0;
+  std::size_t request_fills_ = 0;
+  std::size_t stretches_ = 0;
+};
+
+}  // namespace vmlp::mlp

@@ -1,0 +1,223 @@
+#include "mlp/self_organizing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vmlp::mlp {
+
+SelfOrganizing::SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng rng)
+    : iface_(&iface), params_(params), rng_(rng) {}
+
+cluster::ResourceVector SelfOrganizing::Overlay::max_over(MachineId m, SimTime t0,
+                                                          SimTime t1) const {
+  // Conservative: sum every overlapping tentative reservation (exact maxima
+  // would need sweep-line; plans hold only a handful of entries).
+  cluster::ResourceVector total;
+  for (const auto& e : entries) {
+    if (e.machine == m && e.t0 < t1 && t0 < e.t1) total += e.res;
+  }
+  return total;
+}
+
+bool SelfOrganizing::fits_with_overlay(const Overlay& overlay, MachineId m, SimTime t0, SimTime t1,
+                                       const cluster::ResourceVector& r) const {
+  const auto& ledger = iface_->cluster().machine(m).ledger();
+  return ledger.fits(t0, t1, r + overlay.max_over(m, t0, t1));
+}
+
+SimDuration SelfOrganizing::max_slo() const {
+  if (cached_max_slo_ == 0) {
+    for (const auto& rt : iface_->application().requests()) {
+      cached_max_slo_ = std::max(cached_max_slo_, rt.slo());
+    }
+  }
+  return cached_max_slo_;
+}
+
+SimDuration SelfOrganizing::ref_stage_time() const {
+  if (cached_ref_ == 0) {
+    double sum = 0.0;
+    const auto& services = iface_->application().services();
+    for (const auto& s : services) sum += static_cast<double>(s.nominal_time);
+    cached_ref_ = std::max<SimDuration>(
+        1, static_cast<SimDuration>(sum / std::max<std::size_t>(1, services.size())));
+  }
+  return cached_ref_;
+}
+
+double SelfOrganizing::reorder_ratio_of(RequestId id) {
+  sched::ActiveRequest* ar = iface_->find_request(id);
+  if (ar == nullptr) return 0.0;
+  const auto& type = ar->runtime.type();
+  const double v_r = iface_->volatility(type.id());
+  const SimDuration waited = iface_->now() - ar->runtime.arrival();
+
+  SimDuration dt0 = kTimeInfinity;
+  for (const auto& node : type.nodes()) {
+    const auto mean = iface_->profiles().mean_exec(node.service, type.id());
+    const SimDuration est = mean.value_or(static_cast<SimDuration>(std::llround(
+        static_cast<double>(iface_->application().service(node.service).nominal_time) *
+        node.time_scale)));
+    dt0 = std::min(dt0, std::max<SimDuration>(1, est));
+  }
+  return reorder_ratio(v_r, type.slo(), waited, dt0, ref_stage_time());
+}
+
+SimDuration SelfOrganizing::slack_of(RequestId id, std::size_t node) {
+  sched::ActiveRequest* ar = iface_->find_request(id);
+  VMLP_CHECK(ar != nullptr);
+  const auto& type = ar->runtime.type();
+  const double v_r = iface_->volatility(type.id());
+  const double x = x_percent(v_r, type.slo(), max_slo());
+  const auto& req_node = type.nodes()[node];
+  const auto& svc = iface_->application().service(req_node.service);
+  const auto fallback = static_cast<SimDuration>(
+      std::llround(2.0 * static_cast<double>(svc.nominal_time) * req_node.time_scale));
+  return estimate_slack(iface_->profiles(), req_node.service, type.id(), v_r, x, fallback,
+                        params_);
+}
+
+std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage(
+    const Overlay& overlay, const cluster::ResourceVector& demand, SimDuration slack,
+    const std::vector<SimTime>& parent_finish, const std::vector<MachineId>& parent_machine) {
+  const std::size_t n_machines = iface_->cluster().machine_count();
+  const SimTime now = iface_->now();
+  const SimDuration step =
+      std::max<SimDuration>(1, params_.plan_search_window /
+                                   static_cast<SimDuration>(params_.plan_search_steps));
+
+  std::size_t probes = 0;
+  for (std::size_t k = 0; k <= params_.plan_search_steps; ++k) {
+    for (std::size_t j = 0; j < n_machines; ++j) {
+      if (++probes > params_.max_admit_probes) return std::nullopt;
+      const MachineId m(static_cast<std::uint32_t>((cursor_ + j) % n_machines));
+      SimTime desired = now;
+      if (parent_finish.empty()) {
+        // Root stage: ingress hop from the request handler.
+        desired = now + iface_->expected_ingress();
+      } else {
+        for (std::size_t p = 0; p < parent_finish.size(); ++p) {
+          desired = std::max(desired,
+                             parent_finish[p] + iface_->expected_comm(parent_machine[p], m));
+        }
+        desired = std::max(desired, now);
+      }
+      const SimTime start = desired + static_cast<SimDuration>(k) * step;
+      if (fits_with_overlay(overlay, m, start, start + slack, demand)) {
+        cursor_ = (m.value() + 1) % n_machines;
+        return std::make_pair(m, start);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<NodePlan>> SelfOrganizing::try_chain(
+    sched::ActiveRequest& ar, const std::vector<std::size_t>& chain, double v_r, double x) {
+  const auto& type = ar.runtime.type();
+  const auto& application = iface_->application();
+  const SimTime now = iface_->now();
+
+  std::vector<SimTime> pred_finish(type.size(), -1);
+  std::vector<MachineId> pred_machine(type.size());
+
+  // Seed predictions for nodes that already progressed (delay-slot entrants).
+  for (std::size_t i = 0; i < type.size(); ++i) {
+    const sched::DriverNode& dn = ar.nodes[i];
+    const auto& rn = ar.runtime.node(i);
+    if (dn.done) {
+      pred_finish[i] = rn.finished_at;
+      pred_machine[i] = dn.machine;
+    } else if (dn.running) {
+      pred_finish[i] = std::max(now + kMsec, rn.started_at + slack_of(ar.runtime.id(), i));
+      pred_machine[i] = dn.machine;
+    } else if (dn.placed) {
+      pred_finish[i] = std::max(dn.planned_start, now) + dn.reserve_duration;
+      pred_machine[i] = dn.machine;
+    }
+  }
+
+  Overlay overlay;
+  std::vector<NodePlan> plans;
+  for (std::size_t node : chain) {
+    const sched::DriverNode& dn = ar.nodes[node];
+    if (dn.placed || dn.done) continue;
+
+    const auto& req_node = type.nodes()[node];
+    const auto& svc = application.service(req_node.service);
+    const auto fallback = static_cast<SimDuration>(
+        std::llround(2.0 * static_cast<double>(svc.nominal_time) * req_node.time_scale));
+    // Δt (band-conservative) aligns successors; the ledger books only the
+    // *expected* busy time — reserving worst-case windows would halve the
+    // cluster's effective capacity for volatile streams.
+    const SimDuration slack =
+        estimate_slack(iface_->profiles(), req_node.service, type.id(), v_r, x, fallback, params_);
+    const SimDuration busy = std::max<SimDuration>(
+        1, iface_->profiles().mean_exec(req_node.service, type.id()).value_or(fallback / 2));
+
+    std::vector<SimTime> pf;
+    std::vector<MachineId> pm;
+    for (std::size_t parent : type.dag().parents(node)) {
+      VMLP_CHECK_MSG(pred_finish[parent] >= 0, "chain order violated dependency order");
+      pf.push_back(pred_finish[parent]);
+      pm.push_back(pred_machine[parent]);
+    }
+
+    const auto admitted = admit_stage(overlay, svc.demand, busy, pf, pm);
+    if (!admitted.has_value()) return std::nullopt;
+
+    const auto [machine, start] = *admitted;
+    plans.push_back(NodePlan{node, machine, start, busy, slack});
+    overlay.entries.push_back(Overlay::Entry{machine, start, start + busy, svc.demand});
+    pred_finish[node] = start + std::max(busy, slack);
+    pred_machine[node] = machine;
+  }
+  return plans;
+}
+
+bool SelfOrganizing::organize(RequestId id) {
+  sched::ActiveRequest* ar = iface_->find_request(id);
+  if (ar == nullptr) return false;
+  const auto& type = ar->runtime.type();
+  const double v_r = iface_->volatility(type.id());
+  const double x = x_percent(v_r, type.slo(), max_slo());
+
+  const auto chains = type.dag().chain_choices(params_.max_chain_choices, rng_);
+  std::size_t failed = 0;
+  for (const auto& chain : chains) {
+    if (failed >= params_.max_failed_chains) break;  // saturated; retrying costs more than it buys
+    auto plans = try_chain(*ar, chain, v_r, x);
+    if (!plans.has_value()) {
+      ++failed;
+      continue;
+    }
+    for (const auto& plan : *plans) {
+      const auto& svc = iface_->application().service(type.nodes()[plan.node].service);
+      iface_->place(id, plan.node, plan.machine, svc.demand, plan.start, plan.busy);
+    }
+    ++plans_committed_;
+    return true;
+  }
+  ++plans_deferred_;
+  last_defer_at_ = iface_->now();
+  return false;
+}
+
+bool SelfOrganizing::organize_node(RequestId id, std::size_t node) {
+  sched::ActiveRequest* ar = iface_->find_request(id);
+  if (ar == nullptr) return false;
+  if (ar->nodes[node].placed || ar->nodes[node].done) return true;
+  const auto& type = ar->runtime.type();
+  const double v_r = iface_->volatility(type.id());
+  const double x = x_percent(v_r, type.slo(), max_slo());
+  auto plans = try_chain(*ar, {node}, v_r, x);
+  if (!plans.has_value() || plans->empty()) return false;
+  const auto& plan = plans->front();
+  const auto& svc = iface_->application().service(type.nodes()[plan.node].service);
+  iface_->place(id, plan.node, plan.machine, svc.demand, plan.start, plan.busy);
+  return true;
+}
+
+}  // namespace vmlp::mlp

@@ -1,0 +1,98 @@
+// Self-organizing module (Section III-E, Algorithm 1).
+//
+// Coalesces the microservice chains of waiting requests into the cluster's
+// committed future: for a popped request it walks its chain choices c_j in
+// topological order, estimates each microservice's execution slack Δt per the
+// request's volatility band, and admits each stage onto a machine whose
+// reservation ledger has the resource budget over [t, t+Δt). A request is
+// committed atomically — if any stage cannot be admitted (within a bounded
+// slip window), the whole plan is abandoned and the request deferred
+// ("switch r_i with r_{i+1}").
+//
+// Planning uses a local overlay of tentative reservations so stages of the
+// same plan cannot double-book a machine before the plan commits.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "mlp/interface_layer.h"
+#include "mlp/metrics.h"
+
+namespace vmlp::mlp {
+
+struct NodePlan {
+  std::size_t node = 0;
+  MachineId machine;
+  SimTime start = 0;
+  /// Expected busy time — what the stage books on the machine's ledger.
+  SimDuration busy = 0;
+  /// Band-conservative Δt — what successors align against (Algorithm 1's
+  /// slack). slack >= busy for mid/high-V_r requests.
+  SimDuration slack = 0;
+};
+
+class SelfOrganizing {
+ public:
+  SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng rng);
+
+  /// Plan and commit every unplaced node of the request. True = fully
+  /// assigned (Algorithm 1's "totally assigned").
+  bool organize(RequestId id);
+
+  /// Plan and commit a single unblocked node (used for requests that entered
+  /// execution piecemeal through the delay slot).
+  bool organize_node(RequestId id, std::size_t node);
+
+  /// Reorder ratio R of a waiting request at the current time.
+  [[nodiscard]] double reorder_ratio_of(RequestId id);
+
+  /// Algorithm 1's Δt for one node of a request (exposed for self-healing's
+  /// candidate sizing).
+  [[nodiscard]] SimDuration slack_of(RequestId id, std::size_t node);
+
+  [[nodiscard]] std::size_t plans_committed() const { return plans_committed_; }
+  [[nodiscard]] std::size_t plans_deferred() const { return plans_deferred_; }
+  /// Time of the most recent failed plan (-1 if none) — the self-healing
+  /// module backs off request fills while the cluster is saturated.
+  [[nodiscard]] SimTime last_defer_at() const { return last_defer_at_; }
+
+ private:
+  struct Overlay {
+    struct Entry {
+      MachineId machine;
+      SimTime t0;
+      SimTime t1;
+      cluster::ResourceVector res;
+    };
+    std::vector<Entry> entries;
+    [[nodiscard]] cluster::ResourceVector max_over(MachineId m, SimTime t0, SimTime t1) const;
+  };
+
+  [[nodiscard]] bool fits_with_overlay(const Overlay& overlay, MachineId m, SimTime t0, SimTime t1,
+                                       const cluster::ResourceVector& r) const;
+  /// Find (machine, start) for one stage; first-fit from a rotating cursor at
+  /// the desired start, escalating through the slip window. nullopt = defer.
+  [[nodiscard]] std::optional<std::pair<MachineId, SimTime>> admit_stage(
+      const Overlay& overlay, const cluster::ResourceVector& demand, SimDuration slack,
+      const std::vector<SimTime>& parent_finish, const std::vector<MachineId>& parent_machine);
+
+  [[nodiscard]] std::optional<std::vector<NodePlan>> try_chain(
+      sched::ActiveRequest& ar, const std::vector<std::size_t>& chain, double v_r, double x);
+
+  [[nodiscard]] SimDuration max_slo() const;
+  [[nodiscard]] SimDuration ref_stage_time() const;
+
+  InterfaceLayer* iface_;
+  VmlpParams params_;
+  Rng rng_;
+  std::size_t cursor_ = 0;  // rotating first-fit start index
+  std::size_t plans_committed_ = 0;
+  std::size_t plans_deferred_ = 0;
+  SimTime last_defer_at_ = -1;
+  mutable SimDuration cached_max_slo_ = 0;
+  mutable SimDuration cached_ref_ = 0;
+};
+
+}  // namespace vmlp::mlp

@@ -1,0 +1,74 @@
+#include "net/comm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/summary.h"
+
+namespace vmlp::net {
+
+int comm_class_from_variance(double var_rtt_units) {
+  // Table II: C ∈ 1..3 as Var(RTT) moves across the 100..400 scale.
+  if (var_rtt_units < 100.0) return 1;
+  if (var_rtt_units < 400.0) return 2;
+  return 3;
+}
+
+CommModel::CommModel(const Topology& topology, CommModelParams params, Rng rng)
+    : topology_(topology), params_(params), rng_(rng) {
+  VMLP_CHECK(params_.same_machine_mean_us > 0 && params_.same_rack_mean_us > 0 &&
+             params_.cross_rack_mean_us > 0);
+  VMLP_CHECK(params_.congestion_prob >= 0.0 && params_.congestion_prob <= 1.0);
+  VMLP_CHECK(params_.congestion_mult_lo >= 1.0 &&
+             params_.congestion_mult_hi >= params_.congestion_mult_lo);
+}
+
+SimDuration CommModel::sample_with(const CommModelParams& params, Distance d, Rng& rng) {
+  double mean;
+  double cv;
+  switch (d) {
+    case Distance::kSameMachine:
+      mean = params.same_machine_mean_us;
+      cv = params.same_machine_cv;
+      break;
+    case Distance::kSameRack:
+      mean = params.same_rack_mean_us;
+      cv = params.same_rack_cv;
+      break;
+    case Distance::kCrossRack:
+    default:
+      mean = params.cross_rack_mean_us;
+      cv = params.cross_rack_cv;
+      break;
+  }
+  double delay = rng.lognormal_mean_cv(mean, cv);
+  if (rng.bernoulli(params.congestion_prob)) {
+    delay *= rng.uniform(params.congestion_mult_lo, params.congestion_mult_hi);
+  }
+  return std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(delay)));
+}
+
+SimDuration CommModel::sample_delay(MachineId src, MachineId dst) {
+  return sample_with(params_, topology_.distance(src, dst), rng_);
+}
+
+SimDuration CommModel::sample_delay(Distance d) { return sample_with(params_, d, rng_); }
+
+int CommModel::estimate_comm_class(Distance d, std::size_t n, std::uint64_t probe_seed) const {
+  VMLP_CHECK_MSG(n >= 2, "need at least 2 RTT probes");
+  Rng probe(probe_seed);
+  stats::Summary rtts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimDuration one_way = sample_with(params_, d, probe);
+    const SimDuration back = sample_with(params_, d, probe);
+    // RTT in units of 0.2 ms: calibrated so the default model's three
+    // distance classes land on Table II's Var(RTT) 100..400 scale
+    // (same-machine < 100 → C=1, same-rack ≈ 100-400 → C=2, cross-rack
+    // > 400 → C=3).
+    rtts.add(static_cast<double>(one_way + back) / 200.0);
+  }
+  return comm_class_from_variance(rtts.sample_variance());
+}
+
+}  // namespace vmlp::net

@@ -1,0 +1,59 @@
+// Stochastic caller→callee communication-time model (Section II-C, Fig. 4).
+//
+// Delays are lognormal per distance class, with a small congestion
+// probability that multiplies the sample (the rare "green block" cells in
+// the paper's heat map: network congestion or changed routing). The model
+// also classifies a link's C volatility term (Table II) from the variance
+// of its observed RTT history.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace vmlp::net {
+
+struct CommModelParams {
+  // Mean one-way communication time per distance class, and lognormal CV.
+  double same_machine_mean_us = 300.0;
+  double same_machine_cv = 0.25;
+  double same_rack_mean_us = 1200.0;
+  double same_rack_cv = 0.45;
+  double cross_rack_mean_us = 1900.0;
+  double cross_rack_cv = 0.65;
+  // Congestion / rerouting spike: probability and multiplier range.
+  double congestion_prob = 0.03;
+  double congestion_mult_lo = 3.0;
+  double congestion_mult_hi = 10.0;
+};
+
+/// Volatility C term thresholds (Table II): Var(RTT) measured in units of
+/// (0.2 ms)^2, mapped onto the paper's 100–400 scale.
+int comm_class_from_variance(double var_rtt_units);
+
+class CommModel {
+ public:
+  CommModel(const Topology& topology, CommModelParams params, Rng rng);
+
+  /// Sample the one-way caller→callee delay between two placements.
+  SimDuration sample_delay(MachineId src, MachineId dst);
+  /// Sample a delay for an explicit distance class (characterization benches).
+  SimDuration sample_delay(Distance d);
+
+  /// Estimate the C volatility term for a distance class by sampling `n`
+  /// RTTs (2× one-way) and classifying their variance. Does not disturb the
+  /// model's main stream.
+  int estimate_comm_class(Distance d, std::size_t n, std::uint64_t probe_seed) const;
+
+  [[nodiscard]] const CommModelParams& params() const { return params_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+ private:
+  static SimDuration sample_with(const CommModelParams& params, Distance d, Rng& rng);
+
+  const Topology& topology_;
+  CommModelParams params_;
+  Rng rng_;
+};
+
+}  // namespace vmlp::net

@@ -1,0 +1,34 @@
+#include "net/topology.h"
+
+#include "common/error.h"
+
+namespace vmlp::net {
+
+Topology::Topology(std::size_t machines, std::size_t machines_per_rack)
+    : machines_(machines), per_rack_(machines_per_rack) {
+  VMLP_CHECK_MSG(machines > 0, "topology needs at least one machine");
+  VMLP_CHECK_MSG(machines_per_rack > 0, "machines_per_rack must be positive");
+}
+
+std::size_t Topology::rack_count() const { return (machines_ + per_rack_ - 1) / per_rack_; }
+
+std::size_t Topology::rack_of(MachineId m) const {
+  VMLP_CHECK_MSG(m.valid() && m.value() < machines_, "machine id out of range");
+  return m.value() / per_rack_;
+}
+
+Distance Topology::distance(MachineId a, MachineId b) const {
+  if (a == b) return Distance::kSameMachine;
+  return rack_of(a) == rack_of(b) ? Distance::kSameRack : Distance::kCrossRack;
+}
+
+const char* distance_name(Distance d) {
+  switch (d) {
+    case Distance::kSameMachine: return "same-machine";
+    case Distance::kSameRack: return "same-rack";
+    case Distance::kCrossRack: return "cross-rack";
+  }
+  return "?";
+}
+
+}  // namespace vmlp::net

@@ -1,0 +1,30 @@
+// Cluster network topology: machines grouped into racks. Placement distance
+// (same machine / same rack / cross rack) selects the communication-delay
+// distribution in CommModel.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace vmlp::net {
+
+enum class Distance { kSameMachine, kSameRack, kCrossRack };
+
+class Topology {
+ public:
+  Topology(std::size_t machines, std::size_t machines_per_rack);
+
+  [[nodiscard]] std::size_t machine_count() const { return machines_; }
+  [[nodiscard]] std::size_t rack_count() const;
+  [[nodiscard]] std::size_t rack_of(MachineId m) const;
+  [[nodiscard]] Distance distance(MachineId a, MachineId b) const;
+
+ private:
+  std::size_t machines_;
+  std::size_t per_rack_;
+};
+
+const char* distance_name(Distance d);
+
+}  // namespace vmlp::net

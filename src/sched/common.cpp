@@ -1,0 +1,66 @@
+#include "sched/common.h"
+
+#include <cmath>
+
+namespace vmlp::sched {
+
+SimDuration estimate_mean_exec(SimulationDriver& driver, const app::RequestType& type,
+                               std::size_t node) {
+  const auto& req_node = type.nodes()[node];
+  const auto est = driver.profiles().mean_exec(req_node.service, type.id());
+  if (est.has_value()) return std::max<SimDuration>(1, *est);
+  const auto& svc = driver.application().service(req_node.service);
+  return std::max<SimDuration>(
+      1, static_cast<SimDuration>(std::llround(static_cast<double>(svc.nominal_time) *
+                                               req_node.time_scale)));
+}
+
+MachineId machine_fewest_containers(const cluster::Cluster& clustr) {
+  MachineId best;
+  std::size_t best_count = 0;
+  for (const auto& m : clustr.machines()) {
+    if (!best.valid() || m.container_count() < best_count) {
+      best = m.id();
+      best_count = m.container_count();
+    }
+  }
+  return best;
+}
+
+MachineId machine_lowest_utilization(const cluster::Cluster& clustr) {
+  MachineId best;
+  double best_util = 0.0;
+  for (const auto& m : clustr.machines()) {
+    const double u = m.utilization_sum();
+    if (!best.valid() || u < best_util) {
+      best = m.id();
+      best_util = u;
+    }
+  }
+  return best;
+}
+
+MachineId machine_first_fit(const cluster::Cluster& clustr, SimTime start, SimDuration duration,
+                            const cluster::ResourceVector& demand) {
+  for (const auto& m : clustr.machines()) {
+    if (m.ledger().fits(start, start + duration, demand)) return m.id();
+  }
+  return MachineId::invalid();
+}
+
+MachineId machine_best_fit(const cluster::Cluster& clustr, SimTime start, SimDuration duration,
+                           const cluster::ResourceVector& demand) {
+  MachineId best;
+  double best_spare = -1.0;
+  for (const auto& m : clustr.machines()) {
+    if (!m.ledger().fits(start, start + duration, demand)) continue;
+    const auto avail = m.ledger().available(start, start + duration);
+    if (avail.cpu > best_spare) {
+      best_spare = avail.cpu;
+      best = m.id();
+    }
+  }
+  return best;
+}
+
+}  // namespace vmlp::sched

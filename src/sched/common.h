@@ -1,0 +1,31 @@
+// Shared policy helpers used across the baseline schedulers.
+#pragma once
+
+#include "app/application.h"
+#include "cluster/cluster.h"
+#include "sched/driver.h"
+
+namespace vmlp::sched {
+
+/// Mean execution-time estimate for one request node: profile-store mean when
+/// history exists, nominal×scale otherwise.
+SimDuration estimate_mean_exec(SimulationDriver& driver, const app::RequestType& type,
+                               std::size_t node);
+
+/// Machine with the fewest containers (ties: lowest id).
+MachineId machine_fewest_containers(const cluster::Cluster& clustr);
+
+/// Machine with the lowest instantaneous utilization sum (ties: lowest id).
+MachineId machine_lowest_utilization(const cluster::Cluster& clustr);
+
+/// First machine whose ledger fits `demand` over [start, start+duration);
+/// invalid id when none does.
+MachineId machine_first_fit(const cluster::Cluster& clustr, SimTime start, SimDuration duration,
+                            const cluster::ResourceVector& demand);
+
+/// Machine with the most spare capacity over [start, start+duration) that
+/// still fits `demand` (best-fit by spare CPU); invalid id when none fits.
+MachineId machine_best_fit(const cluster::Cluster& clustr, SimTime start, SimDuration duration,
+                           const cluster::ResourceVector& demand);
+
+}  // namespace vmlp::sched

@@ -1,0 +1,28 @@
+// CurSched (Table VI): FCFS request queue, allocation by current load.
+//
+// Each ready microservice is granted its full demand on the machine that is
+// least utilized *right now*. Reactive placement with no view of committed
+// future work: fine at low load, collides at traffic peaks because several
+// in-flight chains converge on the same "idle" machine.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "sched/scheduler.h"
+
+namespace vmlp::sched {
+
+class CurSched final : public IScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "CurSched"; }
+  void on_request_arrival(RequestId id) override;
+  void on_node_unblocked(RequestId id, std::size_t node) override;
+  void on_tick() override;
+
+ private:
+  void drain();
+  std::deque<std::pair<RequestId, std::size_t>> ready_;
+};
+
+}  // namespace vmlp::sched

@@ -1,0 +1,538 @@
+#include "sched/driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vmlp::sched {
+
+namespace {
+// Index of running instances per machine, kept in the driver via this helper
+// key type (declared here to keep the header lean).
+}  // namespace
+
+SimulationDriver::SimulationDriver(const app::Application& application, IScheduler& scheduler,
+                                   DriverParams params)
+    : app_(application),
+      scheduler_(scheduler),
+      params_(params),
+      cluster_(params.cluster),
+      topology_(params.cluster.machine_count, params.machines_per_rack),
+      comm_(topology_, params.comm, Rng(params.seed).fork("comm")),
+      exec_(params.exec),
+      monitor_(cluster_, params.monitor_period, params.monitor_bucket, params.horizon),
+      rng_(Rng(params.seed).fork("exec")),
+      rng_interference_(Rng(params.seed).fork("interference")) {
+  VMLP_CHECK_MSG(params.horizon > 0 && params.tick > 0, "bad driver timing params");
+  for (const auto& rt : app_.requests()) qos_.set_slo(rt.id(), rt.slo());
+  if (params_.profile_warmup > 0) warmup_profiles();
+}
+
+void SimulationDriver::warmup_profiles() {
+  // Offline characterization runs (the paper's historical traces): each
+  // (service, request type) pair executed with abundant resources under a
+  // random background load — exactly what the workload-characterization
+  // cluster of Table IV.A produced.
+  Rng rng = Rng(params_.seed).fork("warmup");
+  for (const auto& rt : app_.requests()) {
+    for (const auto& node : rt.nodes()) {
+      const auto& type = app_.service(node.service);
+      for (std::size_t i = 0; i < params_.profile_warmup; ++i) {
+        trace::ExecutionCase c;
+        c.usage = type.demand;
+        c.machine_load = rng.uniform(0.05, 0.35);
+        c.exec_time = exec_.sample_duration(type, node.time_scale, type.demand, rng);
+        profiles_.record(node.service, rt.id(), c);
+      }
+    }
+  }
+}
+
+void SimulationDriver::load_arrivals(const std::vector<loadgen::Arrival>& arrivals) {
+  for (const auto& a : arrivals) {
+    VMLP_CHECK_MSG(a.time >= 0 && a.time < params_.horizon, "arrival outside horizon");
+    engine_.schedule_at(a.time, [this, type = a.type] { on_arrival(type); });
+  }
+}
+
+void SimulationDriver::on_arrival(RequestTypeId type) {
+  const RequestId rid(next_request_++);
+  const auto& rt = app_.request(type);
+  auto ar = std::make_unique<ActiveRequest>(rt, rid, engine_.now());
+  requests_.emplace(rid, std::move(ar));
+  arrival_order_.push_back(rid);
+  tracer_.on_request_arrival(rid, type, engine_.now());
+  ++arrived_;
+  scheduler_.on_request_arrival(rid);
+}
+
+ActiveRequest* SimulationDriver::find_request(RequestId id) {
+  auto it = requests_.find(id);
+  return it == requests_.end() ? nullptr : it->second.get();
+}
+
+std::vector<RequestId> SimulationDriver::active_requests() const {
+  std::vector<RequestId> out;
+  for (RequestId id : arrival_order_) {
+    if (requests_.count(id) > 0) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::pair<RequestId, std::size_t>> SimulationDriver::running_on(
+    MachineId machine) const {
+  auto it = running_on_.find(machine.value());
+  if (it == running_on_.end()) return {};
+  return it->second;
+}
+
+SimDuration SimulationDriver::expected_comm(MachineId a, MachineId b) const {
+  const auto& p = params_.comm;
+  switch (topology_.distance(a, b)) {
+    case net::Distance::kSameMachine:
+      return static_cast<SimDuration>(p.same_machine_mean_us);
+    case net::Distance::kSameRack:
+      return static_cast<SimDuration>(p.same_rack_mean_us);
+    case net::Distance::kCrossRack:
+    default:
+      return static_cast<SimDuration>(p.cross_rack_mean_us);
+  }
+}
+
+double SimulationDriver::volatility(RequestTypeId type) const { return app_.volatility(type); }
+
+void SimulationDriver::place(RequestId id, std::size_t node, MachineId machine,
+                             const cluster::ResourceVector& limit, SimTime planned_start,
+                             SimDuration reserve_duration) {
+  ActiveRequest* ar = find_request(id);
+  VMLP_CHECK_MSG(ar != nullptr, "place() on unknown request " << id.value());
+  VMLP_CHECK_MSG(node < ar->nodes.size(), "node index out of range");
+  DriverNode& dn = ar->nodes[node];
+  VMLP_CHECK_MSG(!dn.placed && !dn.done, "node already placed");
+  VMLP_CHECK_MSG(planned_start >= engine_.now(), "planned start in the past");
+  VMLP_CHECK_MSG(reserve_duration > 0, "reserve_duration must be positive");
+
+  cluster::Machine& m = cluster_.machine(machine);
+  dn.placed = true;
+  dn.machine = machine;
+  dn.limit = limit.clamp_to(m.capacity());
+  VMLP_CHECK_MSG(!dn.limit.near_zero(), "placement with a zero resource limit");
+  dn.planned_start = planned_start;
+  dn.reserve_duration = reserve_duration;
+  dn.reserved_begin = planned_start;
+  dn.reserved_end = planned_start + reserve_duration;
+  dn.has_reservation = true;
+  m.ledger().reserve(dn.reserved_begin, dn.reserved_end, dn.limit);
+
+  const InstanceId iid(next_instance_++);
+  dn.instance = iid;
+  ar->runtime.mark_placed(node, machine, iid, planned_start);
+
+  const bool is_root = ar->runtime.type().dag().parents(node).empty();
+  const bool deps_met = ar->runtime.node(node).pending_parents == 0;
+
+  if (is_root) {
+    // Ingress hop: request handler -> first microservice.
+    dn.startable_at = ar->runtime.arrival() + comm_.sample_delay(net::Distance::kSameRack);
+  } else if (deps_met) {
+    SimTime startable = 0;
+    for (const auto& [pm, pt] : dn.parent_msgs) {
+      startable = std::max(startable, pt + comm_.sample_delay(pm, machine));
+    }
+    dn.startable_at = startable;
+  }
+
+  schedule_start_attempt(*ar, node);
+}
+
+void SimulationDriver::schedule_start_attempt(ActiveRequest& ar, std::size_t node) {
+  DriverNode& dn = ar.nodes[node];
+  VMLP_CHECK(dn.placed && !dn.running && !dn.done);
+  const RequestId rid = ar.runtime.id();
+
+  if (dn.startable_at >= 0) {
+    // Work conservation: a node whose dependencies completed ahead of the
+    // conservative plan may start early — start_node() admits the early
+    // start only if the machine has the spare budget right then.
+    const SimTime start_at = std::max(engine_.now(), dn.startable_at);
+    if (dn.start_event.valid()) engine_.cancel(dn.start_event);
+    dn.start_event = engine_.schedule_at(start_at, [this, rid, node] { start_node(rid, node); });
+    // Starting later than planned leaves a resource vacancy: self-healing
+    // territory.
+    if (start_at > dn.planned_start && dn.planned_start >= engine_.now()) {
+      if (dn.late_event.valid()) engine_.cancel(dn.late_event);
+      dn.late_event = engine_.schedule_at(dn.planned_start, [this, rid, node] {
+        ActiveRequest* r = find_request(rid);
+        if (r == nullptr) return;
+        DriverNode& n = r->nodes[node];
+        if (!n.running && !n.done) {
+          ++counters_.late_events;
+          scheduler_.on_late_invocation(rid, node);
+        }
+      });
+    }
+  } else {
+    // Dependencies still executing; watch for lateness at the planned start.
+    if (dn.planned_start >= engine_.now() && !dn.late_event.valid()) {
+      dn.late_event = engine_.schedule_at(dn.planned_start, [this, rid, node] {
+        ActiveRequest* r = find_request(rid);
+        if (r == nullptr) return;
+        DriverNode& n = r->nodes[node];
+        if (!n.running && !n.done) {
+          ++counters_.late_events;
+          scheduler_.on_late_invocation(rid, node);
+        }
+      });
+    }
+  }
+}
+
+void SimulationDriver::release_reservation_tail(ActiveRequest& ar, std::size_t node,
+                                                SimTime from) {
+  DriverNode& dn = ar.nodes[node];
+  if (!dn.has_reservation) return;
+  const SimTime lo = std::max(from, dn.reserved_begin);
+  if (lo < dn.reserved_end) {
+    cluster_.machine(dn.machine).ledger().release(lo, dn.reserved_end, dn.limit);
+  }
+  dn.has_reservation = false;
+}
+
+void SimulationDriver::start_node(RequestId id, std::size_t node) {
+  ActiveRequest* ar = find_request(id);
+  if (ar == nullptr) return;
+  DriverNode& dn = ar->nodes[node];
+  if (dn.running || dn.done) return;
+  VMLP_CHECK_MSG(dn.placed, "starting unplaced node");
+  VMLP_CHECK_MSG(ar->runtime.node(node).pending_parents == 0,
+                 "starting node with unmet dependencies");
+  const SimTime t = engine_.now();
+
+  if (t < dn.planned_start) {
+    // Early-start attempt: admit when the machine's *actual* occupancy (the
+    // limits of containers running right now) leaves room. Future ledger
+    // bookings must not block this — holding a machine idle until a planned
+    // start while its resources sit free is exactly the waste the paper's
+    // self-healing module exists to eliminate; momentary overlap with a
+    // later booking is absorbed by the contention model.
+    cluster::Machine& m = cluster_.machine(dn.machine);
+    if (!(m.allocated() + dn.limit).fits_within(m.capacity())) {
+      ++counters_.early_denials;
+      ++dn.early_denial_streak;
+      // Poll for freed capacity instead of idling until the planned start.
+      const SimTime retry = std::min(dn.planned_start, t + kEarlyRetryInterval);
+      dn.start_event = engine_.schedule_at(retry, [this, id, node] { start_node(id, node); });
+      // The planned machine keeps refusing while the node is ready to go:
+      // treat it as a (pre-)late invocation so the scheduler may relocate it.
+      if (dn.early_denial_streak >= DriverNode::kStuckThreshold && !dn.stuck_notified) {
+        dn.stuck_notified = true;
+        ++counters_.late_events;
+        scheduler_.on_late_invocation(id, node);
+      }
+      return;
+    }
+    dn.early_denial_streak = 0;
+    ++counters_.early_starts;
+  } else {
+    ++counters_.on_time_starts;
+  }
+
+  // Re-book the reservation to the actual execution window if it drifted.
+  if (t != dn.reserved_begin) {
+    release_reservation_tail(*ar, node, t);
+    dn.reserved_begin = t;
+    dn.reserved_end = t + dn.reserve_duration;
+    cluster_.machine(dn.machine).ledger().reserve(dn.reserved_begin, dn.reserved_end, dn.limit);
+    dn.has_reservation = true;
+  }
+
+  const auto& req_node = ar->runtime.type().nodes()[node];
+  const auto& type = app_.service(req_node.service);
+
+  const ContainerId cid(next_container_++);
+  cluster_.machine(dn.machine).add_container(cid, dn.instance, type.demand, dn.limit);
+  dn.container = cid;
+  ar->runtime.mark_running(node, cid, t);
+
+  dn.remaining_work = static_cast<double>(exec_.sample_work(type, req_node.time_scale, rng_));
+  dn.jitter = type.cls.resource_sensitivity == 3
+                  ? rng_.lognormal_mean_cv(1.0, exec_.params().high_sensitivity_extra_cv)
+                  : 1.0;
+  dn.last_advance = t;
+  dn.running = true;
+  if (dn.late_event.valid()) {
+    engine_.cancel(dn.late_event);
+    dn.late_event = {};
+  }
+
+  running_on_[dn.machine.value()].emplace_back(id, node);
+  recompute_machine(dn.machine);
+  scheduler_.on_node_started(id, node);
+}
+
+void SimulationDriver::advance_instance(DriverNode& dn, SimTime to) {
+  VMLP_CHECK(dn.running);
+  if (to > dn.last_advance) {
+    dn.remaining_work -= dn.rate * static_cast<double>(to - dn.last_advance);
+    if (dn.remaining_work < 0.0) dn.remaining_work = 0.0;
+  }
+  dn.last_advance = to;
+}
+
+double SimulationDriver::instance_rate(const app::MicroserviceType& type, const DriverNode& dn,
+                                       const cluster::ResourceVector& effective) const {
+  double rate = exec_.rate(type, effective);
+  if (type.cls.resource_sensitivity == 3) {
+    const double f = exec_.bottleneck(type, effective);
+    if (f > 1.0) {
+      // The per-instance dispersion multiplier bites only under contention —
+      // Fig. 3(c)'s variance inflation.
+      rate /= 1.0 + (dn.jitter - 1.0) * std::min(f - 1.0, 1.0);
+    }
+  }
+  return std::max(rate, 1e-6);
+}
+
+void SimulationDriver::recompute_machine(MachineId machine) {
+  auto it = running_on_.find(machine.value());
+  if (it == running_on_.end() || it->second.empty()) return;
+  cluster::Machine& m = cluster_.machine(machine);
+  const SimTime t = engine_.now();
+
+  // Oversubscription: effective allocation shrinks proportionally per
+  // dimension when granted limits exceed capacity. Sum over *all* containers
+  // on the machine — including injected interference phantoms.
+  const cluster::ResourceVector total = m.allocated();
+  const auto& cap = m.capacity();
+  const cluster::ResourceVector scale{
+      total.cpu > cap.cpu ? cap.cpu / total.cpu : 1.0,
+      total.mem > cap.mem ? cap.mem / total.mem : 1.0,
+      total.io > cap.io ? cap.io / total.io : 1.0,
+  };
+
+  for (const auto& [rid, node] : it->second) {
+    ActiveRequest* ar = find_request(rid);
+    DriverNode& dn = ar->nodes[node];
+    advance_instance(dn, t);
+    const auto& req_node = ar->runtime.type().nodes()[node];
+    const auto& type = app_.service(req_node.service);
+    const cluster::ResourceVector effective{dn.limit.cpu * scale.cpu, dn.limit.mem * scale.mem,
+                                            dn.limit.io * scale.io};
+    dn.rate = instance_rate(type, dn, effective);
+    if (dn.finish_event.valid()) engine_.cancel(dn.finish_event);
+    const auto remaining_time = static_cast<SimDuration>(
+        std::ceil(dn.remaining_work / dn.rate));
+    const RequestId rid_copy = rid;
+    const std::size_t node_copy = node;
+    dn.finish_event = engine_.schedule_after(
+        std::max<SimDuration>(remaining_time, dn.remaining_work > 0 ? 1 : 0),
+        [this, rid_copy, node_copy] { finish_node(rid_copy, node_copy); });
+  }
+}
+
+void SimulationDriver::finish_node(RequestId id, std::size_t node) {
+  ActiveRequest* ar = find_request(id);
+  if (ar == nullptr) return;
+  DriverNode& dn = ar->nodes[node];
+  if (!dn.running || dn.done) return;
+  const SimTime t = engine_.now();
+  advance_instance(dn, t);
+  // Rounding can leave sub-microsecond residue; treat as finished.
+  VMLP_CHECK_MSG(dn.remaining_work <= 1.0 + 1e-6,
+                 "finish event fired with " << dn.remaining_work << "us of work left");
+
+  dn.running = false;
+  dn.done = true;
+  if (dn.finish_event.valid()) {
+    engine_.cancel(dn.finish_event);
+    dn.finish_event = {};
+  }
+
+  // Tear down the container and the remaining reservation window.
+  auto& vec = running_on_[dn.machine.value()];
+  vec.erase(std::remove(vec.begin(), vec.end(), std::make_pair(id, node)), vec.end());
+  cluster::Machine& m = cluster_.machine(dn.machine);
+  m.remove_container(dn.container);
+  release_reservation_tail(*ar, node, t);
+  recompute_machine(dn.machine);
+
+  const auto& req_node = ar->runtime.type().nodes()[node];
+  const SimTime started = ar->runtime.node(node).started_at;
+
+  // Tracing + profiling (Fig. 8's feedback loop).
+  tracer_.record_span(trace::Span{id, ar->runtime.type().id(), req_node.service, dn.instance,
+                                  dn.machine, started, t});
+  trace::ExecutionCase c;
+  c.usage = dn.limit;
+  c.machine_load = m.utilization_sum() / 3.0;
+  c.exec_time = t - started;
+  profiles_.record(req_node.service, ar->runtime.type().id(), c);
+
+  const auto children = ar->runtime.type().dag().children(node);
+  const auto unblocked = ar->runtime.mark_done(node, t);
+  for (std::size_t child : children) {
+    ar->nodes[child].parent_msgs.emplace_back(dn.machine, t);
+  }
+  for (std::size_t child : unblocked) {
+    handle_parent_finished(*ar, child, dn.machine, t);
+  }
+  scheduler_.on_node_finished(id, node);
+
+  if (ar->runtime.finished()) {
+    tracer_.on_request_completion(id, t);
+    qos_.record_completion(ar->runtime.type().id(), t - ar->runtime.arrival());
+    ++completed_;
+    scheduler_.on_request_finished(id);
+    requests_.erase(id);
+  }
+}
+
+void SimulationDriver::handle_parent_finished(ActiveRequest& ar, std::size_t child,
+                                              MachineId /*parent_machine*/, SimTime /*t*/) {
+  DriverNode& dn = ar.nodes[child];
+  VMLP_CHECK(ar.runtime.node(child).pending_parents == 0);
+  if (dn.placed) {
+    SimTime startable = 0;
+    for (const auto& [pm, pt] : dn.parent_msgs) {
+      startable = std::max(startable, pt + comm_.sample_delay(pm, dn.machine));
+    }
+    dn.startable_at = startable;
+    schedule_start_attempt(ar, child);
+  } else {
+    ar.runtime.mark_ready(child, engine_.now());
+    scheduler_.on_node_unblocked(ar.runtime.id(), child);
+  }
+}
+
+void SimulationDriver::adjust_limit(RequestId id, std::size_t node,
+                                    const cluster::ResourceVector& new_limit) {
+  ActiveRequest* ar = find_request(id);
+  VMLP_CHECK_MSG(ar != nullptr, "adjust_limit on unknown request");
+  DriverNode& dn = ar->nodes[node];
+  VMLP_CHECK_MSG(dn.running, "adjust_limit on a non-running node");
+  cluster::Machine& m = cluster_.machine(dn.machine);
+  const cluster::ResourceVector clamped = new_limit.clamp_to(m.capacity());
+  VMLP_CHECK_MSG(!clamped.near_zero(), "adjust_limit to zero");
+
+  // Update the ledger's future view: swap the remaining reservation.
+  const SimTime t = engine_.now();
+  if (dn.has_reservation && t < dn.reserved_end) {
+    m.ledger().release(std::max(t, dn.reserved_begin), dn.reserved_end, dn.limit);
+    m.ledger().reserve(std::max(t, dn.reserved_begin), dn.reserved_end, clamped);
+  }
+  dn.limit = clamped;
+  cluster::Container* c = m.find_container(dn.container);
+  VMLP_CHECK(c != nullptr);
+  c->set_limit(clamped);
+  ++counters_.reallocations;
+  recompute_machine(dn.machine);
+}
+
+void SimulationDriver::unplace(RequestId id, std::size_t node) {
+  ActiveRequest* ar = find_request(id);
+  VMLP_CHECK_MSG(ar != nullptr, "unplace on unknown request");
+  DriverNode& dn = ar->nodes[node];
+  VMLP_CHECK_MSG(dn.placed && !dn.running && !dn.done,
+                 "unplace on a node that is not pending");
+  release_reservation_tail(*ar, node, engine_.now());
+  if (dn.start_event.valid()) {
+    engine_.cancel(dn.start_event);
+    dn.start_event = {};
+  }
+  if (dn.late_event.valid()) {
+    engine_.cancel(dn.late_event);
+    dn.late_event = {};
+  }
+  dn.placed = false;
+  dn.planned_start = -1;
+  dn.startable_at = -1;
+  dn.reserved_begin = -1;
+  dn.reserved_end = -1;
+  dn.reserve_duration = 0;
+  dn.early_denial_streak = 0;
+  dn.stuck_notified = false;
+  ar->runtime.revert_placement(node, engine_.now());
+}
+
+void SimulationDriver::release_reservation(RequestId id, std::size_t node) {
+  ActiveRequest* ar = find_request(id);
+  VMLP_CHECK_MSG(ar != nullptr, "release_reservation on unknown request");
+  DriverNode& dn = ar->nodes[node];
+  VMLP_CHECK_MSG(dn.placed && !dn.running && !dn.done,
+                 "release_reservation on a node that is not pending");
+  release_reservation_tail(*ar, node, engine_.now());
+}
+
+void SimulationDriver::schedule_next_interference() {
+  const auto& p = params_.interference;
+  if (!p.enabled || p.events_per_second <= 0.0) return;
+  const double gap_sec = rng_interference_.exponential_mean(1.0 / p.events_per_second);
+  const auto delay = std::max<SimDuration>(1, static_cast<SimDuration>(gap_sec * kSec));
+  engine_.schedule_after(delay, [this] {
+    inject_interference();
+    schedule_next_interference();
+  });
+}
+
+void SimulationDriver::inject_interference() {
+  const auto& p = params_.interference;
+  const MachineId machine(static_cast<std::uint32_t>(rng_interference_.uniform_int(
+      0, static_cast<std::int64_t>(cluster_.machine_count()) - 1)));
+  cluster::Machine& m = cluster_.machine(machine);
+  const cluster::ResourceVector burst = m.capacity() * p.magnitude;
+
+  const ContainerId cid(next_container_++);
+  m.add_container(cid, InstanceId(), burst, burst);
+  ++counters_.interference_bursts;
+  recompute_machine(machine);
+
+  const double len_sec =
+      rng_interference_.exponential_mean(static_cast<double>(p.duration_mean) / kSec);
+  const auto len = std::max<SimDuration>(kMsec, static_cast<SimDuration>(len_sec * kSec));
+  engine_.schedule_after(len, [this, machine, cid] {
+    cluster_.machine(machine).remove_container(cid);
+    recompute_machine(machine);
+  });
+}
+
+RunResult SimulationDriver::run() {
+  VMLP_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+  scheduler_.attach(*this);
+  monitor_.attach(engine_);
+  schedule_next_interference();
+  engine_.schedule_periodic(params_.tick, params_.tick, [this] { scheduler_.on_tick(); });
+  if (params_.ledger_compact_period > 0) {
+    engine_.schedule_periodic(params_.ledger_compact_period, params_.ledger_compact_period,
+                              [this] {
+                                if (engine_.now() > kSec) {
+                                  cluster_.compact_ledgers_before(engine_.now() - kSec);
+                                }
+                              });
+  }
+  engine_.run_until(params_.horizon);
+
+  RunResult result;
+  result.arrived = arrived_;
+  result.completed = completed_;
+  for (RequestId id : active_requests()) {
+    qos_.record_unfinished(requests_.at(id)->runtime.type().id());
+    ++result.unfinished;
+  }
+  result.qos_violation_rate = qos_.violation_rate();
+  result.mean_utilization = monitor_.mean_overall();
+  const auto& lat = qos_.latencies();
+  if (!lat.empty()) {
+    result.p50_latency_us = lat.quantile(0.50);
+    result.p90_latency_us = lat.quantile(0.90);
+    result.p99_latency_us = lat.quantile(0.99);
+    result.mean_latency_us = lat.mean();
+  }
+  result.throughput_rps =
+      static_cast<double>(completed_) / (static_cast<double>(params_.horizon) / kSec);
+  return result;
+}
+
+}  // namespace vmlp::sched

@@ -1,0 +1,254 @@
+// SimulationDriver: the trace-driven evaluation engine (Fig. 8).
+//
+// Wires together every substrate — event engine, cluster, network, execution
+// model, tracing, profiling, monitoring, QoS accounting — and executes a
+// request stream under a pluggable scheduler policy.
+//
+// Mechanism highlights:
+//  * Work/rate execution: each running instance holds remaining work; its
+//    rate derives from the *effective* allocation, which shrinks when the
+//    host machine's granted limits exceed capacity (oversubscription is
+//    legal and punished, never crashes). Any membership/limit change on a
+//    machine re-rates every instance there and reschedules finish events.
+//  * Dependency communication: a callee becomes startable only after every
+//    caller's completion message arrives; message delay is sampled from the
+//    CommModel using the actual (caller machine, callee machine) distance.
+//  * Reservations: every placement books [planned_start, +reserve_duration)
+//    on the target machine's ledger. v-MLP plans chains into the future;
+//    baselines book from "now" with their own estimates.
+//  * Late invocations: a placed node that has not started by its planned
+//    start triggers IScheduler::on_late_invocation — the hook the paper's
+//    self-healing module hangs off.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "app/application.h"
+#include "app/exec_model.h"
+#include "app/request_runtime.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "loadgen/generator.h"
+#include "monitor/monitor.h"
+#include "net/comm_model.h"
+#include "net/topology.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+#include "stats/qos.h"
+#include "trace/profile_store.h"
+#include "trace/tracer.h"
+
+namespace vmlp::sched {
+
+/// Denied early-start attempts re-probe the machine at this interval.
+inline constexpr SimDuration kEarlyRetryInterval = 2 * kMsec;
+
+/// Background interference injection (Section II-B, Observation 2: resource
+/// over-subscription causes "unpredictable performance interference").
+/// Random machines receive phantom co-tenant load for random intervals;
+/// the disturbance is invisible to every scheduler's ledger — reacting to it
+/// is what the self-healing module is for.
+struct InterferenceParams {
+  bool enabled = false;
+  double events_per_second = 2.0;          ///< cluster-wide burst arrival rate
+  SimDuration duration_mean = 500 * kMsec; ///< exponential burst length
+  double magnitude = 0.5;                  ///< fraction of machine capacity occupied
+};
+
+struct DriverParams {
+  SimTime horizon = 100 * kSec;
+  SimDuration tick = 1 * kMsec;
+  InterferenceParams interference;
+  std::size_t machines_per_rack = 20;
+  cluster::ClusterParams cluster;
+  net::CommModelParams comm;
+  app::ExecModelParams exec;
+  SimDuration monitor_period = 100 * kMsec;
+  SimDuration monitor_bucket = 1 * kSec;
+  std::uint64_t seed = 1;
+  /// Pre-populate the profile store with this many offline execution cases
+  /// per (service, request type) — the paper's historical traces.
+  std::size_t profile_warmup = 64;
+  /// Drop per-machine ledger history every this often (0 = never).
+  SimDuration ledger_compact_period = 10 * kSec;
+};
+
+/// Per-node driver state (mechanism-side; policy state stays in schedulers).
+struct DriverNode {
+  bool placed = false;
+  MachineId machine;
+  cluster::ResourceVector limit;
+  SimTime planned_start = -1;
+  SimDuration reserve_duration = 0;
+  SimTime reserved_begin = -1;
+  SimTime reserved_end = -1;
+  bool has_reservation = false;
+
+  /// Completion messages from finished parents: (caller machine, finish time).
+  std::vector<std::pair<MachineId, SimTime>> parent_msgs;
+  SimTime startable_at = -1;  ///< max(parent finish + comm), known once placed & unblocked
+  sim::EventHandle start_event;
+  sim::EventHandle late_event;
+
+  // Running state.
+  InstanceId instance;
+  ContainerId container;
+  double remaining_work = 0.0;  ///< microseconds of work at rate 1
+  double rate = 1.0;
+  double jitter = 1.0;  ///< S=3 contention-dispersion multiplier, fixed per instance
+  SimTime last_advance = 0;
+  sim::EventHandle finish_event;
+  bool running = false;
+  bool done = false;
+  /// Consecutive denied early-start probes; at kStuckThreshold the scheduler
+  /// is told the node is effectively late so it can relocate it.
+  int early_denial_streak = 0;
+  bool stuck_notified = false;
+  static constexpr int kStuckThreshold = 3;
+};
+
+struct ActiveRequest {
+  ActiveRequest(const app::RequestType& type, RequestId id, SimTime arrival)
+      : runtime(type, id, arrival), nodes(type.size()) {}
+  app::RequestRuntime runtime;
+  std::vector<DriverNode> nodes;
+};
+
+struct RunResult {
+  std::size_t arrived = 0;
+  std::size_t completed = 0;
+  std::size_t unfinished = 0;
+  double qos_violation_rate = 0.0;
+  double mean_utilization = 0.0;
+  double p50_latency_us = 0.0;
+  double p90_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double mean_latency_us = 0.0;
+  double throughput_rps = 0.0;  ///< completions / horizon
+};
+
+class SimulationDriver {
+ public:
+  SimulationDriver(const app::Application& application, IScheduler& scheduler,
+                   DriverParams params);
+
+  /// Queue a pre-generated arrival stream (sorted or not).
+  void load_arrivals(const std::vector<loadgen::Arrival>& arrivals);
+  /// Run to the horizon and finalize accounting. Returns the result summary.
+  RunResult run();
+
+  // ---- scheduler-facing API -------------------------------------------
+  [[nodiscard]] SimTime now() const { return engine_.now(); }
+  [[nodiscard]] const DriverParams& params() const { return params_; }
+  [[nodiscard]] const app::Application& application() const { return app_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] net::CommModel& comm_model() { return comm_; }
+  [[nodiscard]] const app::ExecModel& exec_model() const { return exec_; }
+  [[nodiscard]] trace::ProfileStore& profiles() { return profiles_; }
+  [[nodiscard]] const monitor::ClusterMonitor& cluster_monitor() const { return monitor_; }
+  [[nodiscard]] stats::QosTracker& qos() { return qos_; }
+  [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
+
+  [[nodiscard]] ActiveRequest* find_request(RequestId id);
+  /// Unfinished requests in arrival order.
+  [[nodiscard]] std::vector<RequestId> active_requests() const;
+  /// Running (request, node) pairs currently executing on a machine.
+  [[nodiscard]] std::vector<std::pair<RequestId, std::size_t>> running_on(MachineId machine) const;
+
+  /// Place node `node` of request `id` on `machine` with resource `limit`,
+  /// planned to start at `planned_start` (>= now) and reserving
+  /// `reserve_duration` of ledger time. The node starts at
+  /// max(planned_start, dependency messages' arrival).
+  void place(RequestId id, std::size_t node, MachineId machine,
+             const cluster::ResourceVector& limit, SimTime planned_start,
+             SimDuration reserve_duration);
+
+  /// Change a *running* node's resource limit (the Table III controllers /
+  /// resource-stretch actuation). Re-rates the host machine.
+  void adjust_limit(RequestId id, std::size_t node, const cluster::ResourceVector& new_limit);
+
+  /// Release a placed-but-not-running node's remaining ledger reservation
+  /// (the delay-slot mechanism frees a late node's vacancy for candidates;
+  /// the node re-books automatically when it actually starts).
+  void release_reservation(RequestId id, std::size_t node);
+
+  /// Undo a placement that has not started (the self-healing module's
+  /// "relocation of late-invoking" microservices): the reservation is
+  /// released, pending events cancelled, and the node returns to the
+  /// ready/waiting state for re-placement.
+  void unplace(RequestId id, std::size_t node);
+
+  /// Mean communication delay estimate between two machines (planning aid).
+  [[nodiscard]] SimDuration expected_comm(MachineId a, MachineId b) const;
+  /// Mean ingress delay (request handler -> first microservice).
+  [[nodiscard]] SimDuration expected_ingress() const {
+    return static_cast<SimDuration>(params_.comm.same_rack_mean_us);
+  }
+
+  /// Volatility of a request type (cached).
+  [[nodiscard]] double volatility(RequestTypeId type) const;
+
+  [[nodiscard]] std::size_t arrived_count() const { return arrived_; }
+  [[nodiscard]] std::size_t completed_count() const { return completed_; }
+
+  /// Mechanism counters (observability for tests and ablations).
+  struct Counters {
+    std::size_t early_starts = 0;     ///< nodes started before their planned time
+    std::size_t early_denials = 0;    ///< early attempts pushed back to plan time
+    std::size_t on_time_starts = 0;   ///< started at/after planned time
+    std::size_t late_events = 0;      ///< on_late_invocation deliveries
+    std::size_t reallocations = 0;    ///< adjust_limit calls
+    std::size_t interference_bursts = 0;  ///< injected co-tenant bursts
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void warmup_profiles();
+  void on_arrival(RequestTypeId type);
+  void schedule_next_interference();
+  void inject_interference();
+  void schedule_start_attempt(ActiveRequest& ar, std::size_t node);
+  void start_node(RequestId id, std::size_t node);
+  void finish_node(RequestId id, std::size_t node);
+  void handle_parent_finished(ActiveRequest& ar, std::size_t child, MachineId parent_machine,
+                              SimTime finish_time);
+  /// Re-rate all running instances on a machine and reschedule their finishes.
+  void recompute_machine(MachineId machine);
+  void advance_instance(DriverNode& dn, SimTime to);
+  void release_reservation_tail(ActiveRequest& ar, std::size_t node, SimTime from);
+  [[nodiscard]] double instance_rate(const app::MicroserviceType& type, const DriverNode& dn,
+                                     const cluster::ResourceVector& effective) const;
+
+  const app::Application& app_;
+  IScheduler& scheduler_;
+  DriverParams params_;
+
+  sim::Engine engine_;
+  cluster::Cluster cluster_;
+  net::Topology topology_;
+  net::CommModel comm_;
+  app::ExecModel exec_;
+  trace::Tracer tracer_;
+  trace::ProfileStore profiles_;
+  monitor::ClusterMonitor monitor_;
+  stats::QosTracker qos_;
+
+  Rng rng_;               // execution sampling
+  Rng rng_interference_;  // interference injection stream
+  std::unordered_map<RequestId, std::unique_ptr<ActiveRequest>> requests_;
+  /// machine id -> running (request, node) pairs placed there.
+  std::unordered_map<std::uint32_t, std::vector<std::pair<RequestId, std::size_t>>> running_on_;
+  std::vector<RequestId> arrival_order_;
+  std::uint64_t next_request_ = 0;
+  std::uint64_t next_instance_ = 0;
+  std::uint64_t next_container_ = 0;
+  std::size_t arrived_ = 0;
+  std::size_t completed_ = 0;
+  Counters counters_;
+  bool ran_ = false;
+};
+
+}  // namespace vmlp::sched

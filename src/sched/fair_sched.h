@@ -1,0 +1,31 @@
+// FairSched (Table VI): FCFS request queue, equal resource allocation.
+//
+// Every ready microservice receives an identical slice of a machine
+// (capacity / kSlotsPerMachine) regardless of its demand — the fair-share
+// policy of Quincy-style schedulers [22]. No admission control, no history:
+// under load, machines oversubscribe and the execution model punishes the
+// resulting contention.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "sched/scheduler.h"
+
+namespace vmlp::sched {
+
+class FairSched final : public IScheduler {
+ public:
+  static constexpr std::size_t kSlotsPerMachine = 8;
+
+  [[nodiscard]] std::string name() const override { return "FairSched"; }
+  void on_request_arrival(RequestId id) override;
+  void on_node_unblocked(RequestId id, std::size_t node) override;
+  void on_tick() override;
+
+ private:
+  void drain();
+  std::deque<std::pair<RequestId, std::size_t>> ready_;
+};
+
+}  // namespace vmlp::sched

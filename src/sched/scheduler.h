@@ -1,0 +1,57 @@
+// Scheduler policy interface.
+//
+// The SimulationDriver owns all mechanism (containers, reservations, events,
+// communication, metrics); a scheduler is a pure policy object that reacts to
+// driver callbacks and issues placements through the driver's API. All five
+// evaluated schemes (Table VI) implement this interface.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace vmlp::sched {
+
+class SimulationDriver;
+
+class IScheduler {
+ public:
+  virtual ~IScheduler() = default;
+
+  /// Scheme name as printed in result tables ("FairSched", "v-MLP", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before the run starts; keep the driver pointer.
+  virtual void attach(SimulationDriver& driver) { driver_ = &driver; }
+
+  /// A new request arrived (its root nodes are ready).
+  virtual void on_request_arrival(RequestId id) = 0;
+  /// A node's dependencies completed and it is not placed yet.
+  virtual void on_node_unblocked(RequestId id, std::size_t node) = 0;
+  /// Periodic scheduling tick.
+  virtual void on_tick() = 0;
+  /// A planned node failed to start by its planned time (v-MLP's self-healing
+  /// trigger). Default: ignore.
+  virtual void on_late_invocation(RequestId id, std::size_t node) {
+    (void)id;
+    (void)node;
+  }
+  /// A node started executing. Default: ignore.
+  virtual void on_node_started(RequestId id, std::size_t node) {
+    (void)id;
+    (void)node;
+  }
+  /// A node finished. Default: ignore.
+  virtual void on_node_finished(RequestId id, std::size_t node) {
+    (void)id;
+    (void)node;
+  }
+  /// The whole request completed. Default: ignore.
+  virtual void on_request_finished(RequestId id) { (void)id; }
+
+ protected:
+  SimulationDriver* driver_ = nullptr;
+};
+
+}  // namespace vmlp::sched

@@ -1,0 +1,89 @@
+#include "sim/engine.h"
+
+#include "common/error.h"
+
+namespace vmlp::sim {
+
+EventHandle Engine::schedule_at(SimTime t, Callback fn) {
+  VMLP_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
+  VMLP_CHECK_MSG(fn != nullptr, "null event callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventHandle{id};
+}
+
+EventHandle Engine::schedule_after(SimDuration delay, Callback fn) {
+  VMLP_CHECK_MSG(delay >= 0, "negative delay " << delay);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_periodic(SimTime start, SimDuration period, Callback fn) {
+  VMLP_CHECK_MSG(period > 0, "periodic period must be positive");
+  VMLP_CHECK_MSG(fn != nullptr, "null periodic callback");
+  const std::uint64_t id = next_id_++;
+  periodics_.emplace(id, PeriodicState{period, std::move(fn)});
+  schedule_periodic_next(id, start);
+  return EventHandle{id};
+}
+
+void Engine::schedule_periodic_next(std::uint64_t series_id, SimTime t) {
+  queue_.push(Entry{t, next_seq_++, series_id});
+  callbacks_[series_id] = [this, series_id] {
+    auto it = periodics_.find(series_id);
+    if (it == periodics_.end()) return;
+    // Re-arm before running the body so the body may cancel the series.
+    const SimTime next = now_ + it->second.period;
+    Callback body = it->second.fn;  // copy: body may cancel and erase state
+    schedule_periodic_next(series_id, next);
+    body();
+  };
+}
+
+bool Engine::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  periodics_.erase(handle.id);
+  return callbacks_.erase(handle.id) > 0;
+}
+
+bool Engine::pending(EventHandle handle) const {
+  return handle.valid() && callbacks_.count(handle.id) > 0;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled: lazy removal
+    VMLP_CHECK_MSG(entry.time >= now_, "event queue time went backwards");
+    now_ = entry.time;
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime horizon) {
+  VMLP_CHECK_MSG(horizon >= now_, "horizon in the past");
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    if (callbacks_.count(entry.id) == 0) {  // cancelled
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > horizon) break;
+    step();
+  }
+  now_ = horizon;
+}
+
+void Engine::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace vmlp::sim

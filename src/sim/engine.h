@@ -1,0 +1,91 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events at equal timestamps fire in
+// scheduling order (a monotonically increasing sequence number breaks ties).
+// Events are cancellable — the self-healing module's resource stretch cancels
+// and reschedules in-flight completion events when it reallocates resources.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vmlp::sim {
+
+/// Opaque handle to a scheduled event; value 0 is "no event".
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now). Returns a handle
+  /// usable with cancel().
+  EventHandle schedule_at(SimTime t, Callback fn);
+  /// Schedule `fn` after `delay` from now.
+  EventHandle schedule_after(SimDuration delay, Callback fn);
+  /// Schedule `fn` every `period`, first firing at `start`. Returns the handle
+  /// of the *first* occurrence; cancelling it stops the whole series.
+  EventHandle schedule_periodic(SimTime start, SimDuration period, Callback fn);
+
+  /// Cancel a pending event. Returns false if it already fired/was cancelled.
+  bool cancel(EventHandle handle);
+  /// True if the handle refers to a still-pending event.
+  [[nodiscard]] bool pending(EventHandle handle) const;
+
+  /// Run events until the queue drains or simulated time would exceed
+  /// `horizon`. Time stops at the last executed event (or `horizon` if the
+  /// queue drained earlier / the next event lies beyond it).
+  void run_until(SimTime horizon);
+  /// Run until the queue drains completely.
+  void run_all();
+  /// Execute at most one event; returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return callbacks_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct PeriodicState {
+    SimDuration period;
+    Callback fn;
+  };
+
+  void schedule_periodic_next(std::uint64_t series_id, SimTime t);
+
+  SimTime now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  // Periodic series: series id -> state; occurrence events re-arm themselves
+  // under the same handle id so one cancel() stops the series.
+  std::unordered_map<std::uint64_t, PeriodicState> periodics_;
+};
+
+}  // namespace vmlp::sim

@@ -1,0 +1,90 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vmlp::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  VMLP_CHECK_MSG(q > 0.0 && q < 1.0, "P2 quantile q=" << q << " outside (0,1)");
+}
+
+void P2Quantile::initialize() {
+  std::sort(initial_.begin(), initial_.end());
+  heights_ = initial_;
+  positions_ = {0, 1, 2, 3, 4};
+  desired_ = {0, 2 * q_, 4 * q_, 2 + 2 * q_, 4};
+  increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+  initialized_ = true;
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    initial_[count_++] = x;
+    if (count_ == 5) initialize();
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing x and update extreme markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double s = d >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double hp = heights_[i + 1];
+      const double hm = heights_[i - 1];
+      const double h = heights_[i];
+      const double np = positions_[i + 1];
+      const double nm = positions_[i - 1];
+      const double n = positions_[i];
+      double candidate =
+          h + s / (np - nm) *
+                  ((n - nm + s) * (hp - h) / (np - n) + (np - n - s) * (h - hm) / (n - nm));
+      if (candidate <= hm || candidate >= hp) {
+        // Parabolic step would violate monotonicity: fall back to linear.
+        const std::size_t j = s > 0 ? i + 1 : i - 1;
+        candidate = h + s * (heights_[j] - h) / (positions_[j] - n);
+      }
+      heights_[i] = candidate;
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return std::nan("");
+  if (count_ < 5) {
+    // Exact from the buffered samples.
+    std::array<double, 5> buf = initial_;
+    std::sort(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(count_));
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return buf[lo] * (1.0 - frac) + buf[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace vmlp::stats

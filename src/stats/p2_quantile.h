@@ -1,0 +1,38 @@
+// P² (piecewise-parabolic) streaming quantile estimator — Jain & Chlamtac,
+// CACM 1985. O(1) memory per tracked quantile; used where retaining every
+// sample is too expensive (per-service latency quantiles in long-running
+// monitors). For evaluation-grade exact quantiles use stats::SampleSet.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace vmlp::stats {
+
+class P2Quantile {
+ public:
+  /// Track the q-quantile, q in (0, 1).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double quantile() const { return q_; }
+  /// Current estimate. Exact while count < 5; marker-based afterwards.
+  /// Returns NaN when no samples were added.
+  [[nodiscard]] double value() const;
+
+ private:
+  void initialize();
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+  std::array<double, 5> initial_{};   // first five samples (pre-init buffer)
+  bool initialized_ = false;
+};
+
+}  // namespace vmlp::stats

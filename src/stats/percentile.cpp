@@ -1,0 +1,80 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vmlp::stats {
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleSet::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+void SampleSet::merge(const SampleSet& other) { add_all(other.samples_); }
+
+void SampleSet::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleSet::quantile(double q) const {
+  VMLP_CHECK_MSG(!samples_.empty(), "quantile of empty SampleSet");
+  VMLP_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q=" << q);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleSet::mean() const {
+  VMLP_CHECK_MSG(!samples_.empty(), "mean of empty SampleSet");
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::fraction_above(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(sorted_.end() - it) / static_cast<double>(sorted_.size());
+}
+
+double SampleSet::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_points(std::size_t n) const {
+  VMLP_CHECK(n >= 2);
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n - 1);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+}  // namespace vmlp::stats

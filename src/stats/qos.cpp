@@ -1,0 +1,35 @@
+#include "stats/qos.h"
+
+#include "common/error.h"
+
+namespace vmlp::stats {
+
+void QosTracker::set_slo(RequestTypeId type, SimDuration slo) {
+  VMLP_CHECK_MSG(slo > 0, "SLO must be positive");
+  slos_[type] = slo;
+}
+
+SimDuration QosTracker::slo(RequestTypeId type) const {
+  auto it = slos_.find(type);
+  VMLP_CHECK_MSG(it != slos_.end(), "no SLO registered for request type " << type.value());
+  return it->second;
+}
+
+void QosTracker::record_completion(RequestTypeId type, SimDuration latency) {
+  ++completed_;
+  latencies_.add(static_cast<double>(latency));
+  if (latency > slo(type)) ++violations_;
+}
+
+void QosTracker::record_unfinished(RequestTypeId type) {
+  (void)slo(type);  // validates the type is known
+  ++unfinished_;
+  ++violations_;
+}
+
+double QosTracker::violation_rate() const {
+  const std::size_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(violations_) / static_cast<double>(n);
+}
+
+}  // namespace vmlp::stats

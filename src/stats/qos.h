@@ -1,0 +1,45 @@
+// QoS accounting: per-request-type SLO tracking and violation rates
+// (the metric behind Fig. 10).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "stats/percentile.h"
+
+namespace vmlp::stats {
+
+class QosTracker {
+ public:
+  /// Register the SLO (end-to-end latency budget) for a request type.
+  void set_slo(RequestTypeId type, SimDuration slo);
+  [[nodiscard]] SimDuration slo(RequestTypeId type) const;
+
+  /// Record a completed request with its end-to-end latency.
+  void record_completion(RequestTypeId type, SimDuration latency);
+  /// Record a request that never finished within the horizon (counts as a
+  /// violation).
+  void record_unfinished(RequestTypeId type);
+
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t violations() const { return violations_; }
+  [[nodiscard]] std::size_t unfinished() const { return unfinished_; }
+  [[nodiscard]] std::size_t total() const { return completed_ + unfinished_; }
+
+  /// Violation rate over all accounted requests (violating completions plus
+  /// unfinished); 0 when nothing was recorded.
+  [[nodiscard]] double violation_rate() const;
+
+  /// All end-to-end latencies of completed requests.
+  [[nodiscard]] const SampleSet& latencies() const { return latencies_; }
+
+ private:
+  std::unordered_map<RequestTypeId, SimDuration> slos_;
+  SampleSet latencies_;
+  std::size_t completed_ = 0;
+  std::size_t violations_ = 0;
+  std::size_t unfinished_ = 0;
+};
+
+}  // namespace vmlp::stats

@@ -1,0 +1,48 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vmlp::stats {
+
+TimeSeries::TimeSeries(SimDuration bucket, SimTime horizon) : bucket_(bucket) {
+  VMLP_CHECK_MSG(bucket > 0 && horizon > 0, "timeseries bucket=" << bucket << " horizon=" << horizon);
+  const auto n = static_cast<std::size_t>((horizon + bucket - 1) / bucket);
+  sums_.assign(n, 0.0);
+  counts_.assign(n, 0);
+}
+
+std::size_t TimeSeries::index(SimTime t) const {
+  if (t < 0) return 0;
+  const auto i = static_cast<std::size_t>(t / bucket_);
+  return std::min(i, sums_.size() - 1);
+}
+
+void TimeSeries::add(SimTime t, double value) {
+  const std::size_t i = index(t);
+  sums_[i] += value;
+  counts_[i] += 1;
+}
+
+void TimeSeries::increment(SimTime t, double delta) {
+  sums_[index(t)] += delta;
+}
+
+SimTime TimeSeries::bucket_start(std::size_t i) const {
+  return static_cast<SimTime>(i) * bucket_;
+}
+
+double TimeSeries::mean(std::size_t i) const {
+  return counts_[i] == 0 ? 0.0 : sums_[i] / static_cast<double>(counts_[i]);
+}
+
+std::vector<double> TimeSeries::mean_series() const {
+  std::vector<double> out(sums_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = mean(i);
+  return out;
+}
+
+std::vector<double> TimeSeries::sum_series() const { return sums_; }
+
+}  // namespace vmlp::stats

@@ -1,0 +1,45 @@
+// Time-bucketed series: accumulates (time, value) observations into fixed
+// buckets and reports per-bucket means. Used for the utilization-over-time
+// curves of Fig. 11 and the workload-rate curves of Fig. 9.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vmlp::stats {
+
+class TimeSeries {
+ public:
+  /// Buckets of width `bucket` covering [0, horizon).
+  TimeSeries(SimDuration bucket, SimTime horizon);
+
+  /// Record an observation at time t (clamped into range).
+  void add(SimTime t, double value);
+  /// Record an increment (counting semantics: bucket value = sum not mean).
+  void increment(SimTime t, double delta = 1.0);
+
+  [[nodiscard]] std::size_t bucket_count() const { return sums_.size(); }
+  [[nodiscard]] SimTime bucket_start(std::size_t i) const;
+  [[nodiscard]] SimDuration bucket_width() const { return bucket_; }
+  /// Mean of observations in bucket i; 0 when the bucket is empty.
+  [[nodiscard]] double mean(std::size_t i) const;
+  /// Sum of observations in bucket i.
+  [[nodiscard]] double sum(std::size_t i) const { return sums_[i]; }
+  [[nodiscard]] std::size_t samples(std::size_t i) const { return counts_[i]; }
+
+  /// Per-bucket means, one entry per bucket.
+  [[nodiscard]] std::vector<double> mean_series() const;
+  /// Per-bucket sums.
+  [[nodiscard]] std::vector<double> sum_series() const;
+
+ private:
+  [[nodiscard]] std::size_t index(SimTime t) const;
+
+  SimDuration bucket_;
+  std::vector<double> sums_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace vmlp::stats

@@ -1,0 +1,88 @@
+#include "trace/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace vmlp::trace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void export_spans_json(const Tracer& tracer, const app::Application& application,
+                       std::ostream& out) {
+  out << "[";
+  bool first = true;
+  for (const auto& span : tracer.spans()) {
+    if (!first) out << ",";
+    first = false;
+    const auto& svc = application.service(span.service);
+    const auto& req = application.request(span.request_type);
+    out << "\n  {\"traceId\":\"" << span.request.value() << "\""
+        << ",\"id\":\"" << span.instance.value() << "\""
+        << ",\"name\":\"" << json_escape(svc.name) << "\""
+        << ",\"kind\":\"SERVER\""
+        << ",\"timestamp\":" << span.start << ",\"duration\":" << span.duration()
+        << ",\"localEndpoint\":{\"serviceName\":\"" << json_escape(svc.name)
+        << "\",\"ipv4\":\"10.0." << span.machine.value() / 256 << "."
+        << span.machine.value() % 256 << "\"}"
+        << ",\"tags\":{\"requestType\":\"" << json_escape(req.name()) << "\",\"machine\":\""
+        << span.machine.value() << "\"}}";
+  }
+  out << "\n]\n";
+}
+
+void export_spans_json_file(const Tracer& tracer, const app::Application& application,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot open for writing: " + path);
+  export_spans_json(tracer, application, out);
+  if (!out) throw ConfigError("write failed: " + path);
+}
+
+void export_requests_csv(const Tracer& tracer, const app::Application& application,
+                         std::ostream& out) {
+  out << "request_id,type,arrival_us,completion_us,latency_us\n";
+  for (const auto* rec : tracer.requests()) {
+    out << rec->id.value() << "," << application.request(rec->type).name() << ","
+        << rec->arrival << ",";
+    if (rec->finished()) {
+      out << *rec->completion << "," << rec->latency();
+    } else {
+      out << ",";
+    }
+    out << "\n";
+  }
+}
+
+void export_requests_csv_file(const Tracer& tracer, const app::Application& application,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot open for writing: " + path);
+  export_requests_csv(tracer, application, out);
+  if (!out) throw ConfigError("write failed: " + path);
+}
+
+}  // namespace vmlp::trace

@@ -1,0 +1,39 @@
+// Trace and result export: Zipkin-v2-style JSON spans and CSV tables.
+//
+// The simulator's tracer plays the role of the paper's Zipkin/Jaeger
+// deployment; exporting its spans in the Zipkin JSON shape lets standard
+// trace tooling consume simulated runs, and CSV export feeds plotting
+// scripts for the figure reproductions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "app/application.h"
+#include "trace/tracer.h"
+
+namespace vmlp::trace {
+
+/// Write all spans as a Zipkin v2 JSON array:
+/// [{"traceId","id","name","timestamp","duration","localEndpoint":{...}}...].
+/// Timestamps are simulated microseconds.
+void export_spans_json(const Tracer& tracer, const app::Application& application,
+                       std::ostream& out);
+
+/// Convenience: export to a file. Throws ConfigError on IO failure.
+void export_spans_json_file(const Tracer& tracer, const app::Application& application,
+                            const std::string& path);
+
+/// Write completed requests as CSV:
+/// request_id,type,arrival_us,completion_us,latency_us.
+void export_requests_csv(const Tracer& tracer, const app::Application& application,
+                         std::ostream& out);
+
+void export_requests_csv_file(const Tracer& tracer, const app::Application& application,
+                              const std::string& path);
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace vmlp::trace

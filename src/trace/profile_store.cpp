@@ -1,0 +1,140 @@
+#include "trace/profile_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vmlp::trace {
+
+ProfileStore::ProfileStore(std::size_t capacity) : capacity_(capacity) {
+  VMLP_CHECK_MSG(capacity > 0, "profile store capacity must be positive");
+}
+
+void ProfileStore::record(ServiceTypeId service, RequestTypeId request_type,
+                          const ExecutionCase& c) {
+  VMLP_CHECK_MSG(c.exec_time >= 0, "negative execution time");
+  Ring& ring = rings_[Key{service, request_type}];
+  if (ring.cases.size() < capacity_) {
+    ring.cases.push_back(c);
+    if (ring.cases.size() == capacity_) {
+      ring.full = true;
+      ring.next = 0;
+    }
+  } else {
+    const ExecutionCase& evicted = ring.cases[ring.next];
+    ring.exec_sum -= static_cast<double>(evicted.exec_time);
+    ring.usage_sum -= evicted.usage;
+    ring.cases[ring.next] = c;
+    ring.next = (ring.next + 1) % capacity_;
+  }
+  ring.exec_sum += static_cast<double>(c.exec_time);
+  ring.usage_sum += c.usage;
+  ++ring.revision;
+}
+
+const ProfileStore::Ring* ProfileStore::find(ServiceTypeId service,
+                                             RequestTypeId request_type) const {
+  auto it = rings_.find(Key{service, request_type});
+  return it == rings_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ExecutionCase*> ProfileStore::ordered(const Ring& ring) {
+  std::vector<const ExecutionCase*> out;
+  out.reserve(ring.cases.size());
+  if (!ring.full) {
+    for (const auto& c : ring.cases) out.push_back(&c);
+  } else {
+    for (std::size_t i = 0; i < ring.cases.size(); ++i) {
+      out.push_back(&ring.cases[(ring.next + i) % ring.cases.size()]);
+    }
+  }
+  return out;
+}
+
+std::size_t ProfileStore::case_count(ServiceTypeId service, RequestTypeId request_type) const {
+  const Ring* ring = find(service, request_type);
+  return ring == nullptr ? 0 : ring->cases.size();
+}
+
+bool ProfileStore::has_history(ServiceTypeId service, RequestTypeId request_type) const {
+  return case_count(service, request_type) > 0;
+}
+
+std::optional<SimDuration> ProfileStore::max_slack(ServiceTypeId service,
+                                                   RequestTypeId request_type) const {
+  const Ring* ring = find(service, request_type);
+  if (ring == nullptr || ring->cases.empty()) return std::nullopt;
+  if (ring->cached_max.revision == 0 ||
+      ring->revision - ring->cached_max.revision >= kCacheStaleness) {
+    SimDuration best = 0;
+    for (const auto& c : ring->cases) best = std::max(best, c.exec_time);
+    ring->cached_max = CachedValue{ring->revision, best};
+  }
+  return ring->cached_max.value;
+}
+
+std::optional<SimDuration> ProfileStore::mean_exec(ServiceTypeId service,
+                                                   RequestTypeId request_type) const {
+  const Ring* ring = find(service, request_type);
+  if (ring == nullptr || ring->cases.empty()) return std::nullopt;
+  return static_cast<SimDuration>(
+      std::llround(ring->exec_sum / static_cast<double>(ring->cases.size())));
+}
+
+std::optional<SimDuration> ProfileStore::quantile_of_recent(ServiceTypeId service,
+                                                            RequestTypeId request_type, double q,
+                                                            double x_percent) const {
+  VMLP_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q=" << q);
+  VMLP_CHECK_MSG(x_percent > 0.0 && x_percent <= 100.0, "x_percent=" << x_percent);
+  const Ring* ring = find(service, request_type);
+  if (ring == nullptr || ring->cases.empty()) return std::nullopt;
+
+  const QuantileKey key{static_cast<int>(std::lround(q * 1000.0)),
+                        static_cast<int>(std::lround(x_percent * 10.0))};
+  auto it = ring->cached_quantiles.find(key);
+  if (it != ring->cached_quantiles.end() &&
+      ring->revision - it->second.revision < kCacheStaleness) {
+    return it->second.value;
+  }
+
+  const auto all = ordered(*ring);
+  const std::size_t take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(static_cast<double>(all.size()) * x_percent / 100.0)));
+  std::vector<double> recent;
+  recent.reserve(take);
+  for (std::size_t i = all.size() - take; i < all.size(); ++i) {
+    recent.push_back(static_cast<double>(all[i]->exec_time));
+  }
+  std::sort(recent.begin(), recent.end());
+  SimDuration value;
+  if (recent.size() == 1) {
+    value = static_cast<SimDuration>(std::llround(recent[0]));
+  } else {
+    const double pos = q * static_cast<double>(recent.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(lo + 1, recent.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    value = static_cast<SimDuration>(std::llround(recent[lo] * (1.0 - frac) + recent[hi] * frac));
+  }
+  ring->cached_quantiles[key] = CachedValue{ring->revision, value};
+  return value;
+}
+
+std::optional<cluster::ResourceVector> ProfileStore::mean_usage(
+    ServiceTypeId service, RequestTypeId request_type) const {
+  const Ring* ring = find(service, request_type);
+  if (ring == nullptr || ring->cases.empty()) return std::nullopt;
+  return ring->usage_sum * (1.0 / static_cast<double>(ring->cases.size()));
+}
+
+std::vector<SimDuration> ProfileStore::exec_times(ServiceTypeId service,
+                                                  RequestTypeId request_type) const {
+  std::vector<SimDuration> out;
+  const Ring* ring = find(service, request_type);
+  if (ring == nullptr) return out;
+  for (const auto* c : ordered(*ring)) out.push_back(c->exec_time);
+  return out;
+}
+
+}  // namespace vmlp::trace

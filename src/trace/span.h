@@ -1,0 +1,21 @@
+// Span: one microservice invocation as observed by distributed tracing
+// (the Zipkin/Jaeger analogue).
+#pragma once
+
+#include "common/types.h"
+
+namespace vmlp::trace {
+
+struct Span {
+  RequestId request;
+  RequestTypeId request_type;
+  ServiceTypeId service;
+  InstanceId instance;
+  MachineId machine;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  [[nodiscard]] SimDuration duration() const { return end - start; }
+};
+
+}  // namespace vmlp::trace

@@ -1,0 +1,54 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vmlp::trace {
+
+void Tracer::on_request_arrival(RequestId id, RequestTypeId type, SimTime t) {
+  auto [it, inserted] = records_.emplace(id, RequestRecord{id, type, t, std::nullopt});
+  VMLP_CHECK_MSG(inserted, "duplicate request id " << id.value());
+  (void)it;
+  order_.push_back(id);
+}
+
+void Tracer::on_request_completion(RequestId id, SimTime t) {
+  auto it = records_.find(id);
+  VMLP_CHECK_MSG(it != records_.end(), "completion of unknown request " << id.value());
+  VMLP_CHECK_MSG(!it->second.completion.has_value(), "request " << id.value() << " completed twice");
+  VMLP_CHECK_MSG(t >= it->second.arrival, "completion precedes arrival");
+  it->second.completion = t;
+  ++completed_;
+}
+
+void Tracer::record_span(const Span& span) {
+  VMLP_CHECK_MSG(span.end >= span.start, "span ends before it starts");
+  spans_by_request_[span.request].push_back(spans_.size());
+  spans_.push_back(span);
+}
+
+const RequestRecord* Tracer::find_request(RequestId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<const RequestRecord*> Tracer::requests() const {
+  std::vector<const RequestRecord*> out;
+  out.reserve(order_.size());
+  for (RequestId id : order_) out.push_back(&records_.at(id));
+  return out;
+}
+
+std::vector<const Span*> Tracer::spans_of(RequestId id) const {
+  std::vector<const Span*> out;
+  auto it = spans_by_request_.find(id);
+  if (it == spans_by_request_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(&spans_[i]);
+  std::sort(out.begin(), out.end(),
+            [](const Span* a, const Span* b) { return a->start < b->start; });
+  return out;
+}
+
+}  // namespace vmlp::trace

@@ -1,0 +1,53 @@
+// Tracer: collects spans and request lifecycles. The information feeds the
+// profile store ("stored as historical traces for future scheduling",
+// Section III-D) and the evaluation metrics.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/span.h"
+
+namespace vmlp::trace {
+
+struct RequestRecord {
+  RequestId id;
+  RequestTypeId type;
+  SimTime arrival = 0;
+  std::optional<SimTime> completion;
+
+  [[nodiscard]] bool finished() const { return completion.has_value(); }
+  [[nodiscard]] SimDuration latency() const { return *completion - arrival; }
+};
+
+class Tracer {
+ public:
+  /// Record a request's arrival. Throws on duplicate ids.
+  void on_request_arrival(RequestId id, RequestTypeId type, SimTime t);
+  /// Record a request's completion (all sink microservices done).
+  void on_request_completion(RequestId id, SimTime t);
+  /// Record a finished microservice span.
+  void record_span(const Span& span);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const RequestRecord* find_request(RequestId id) const;
+  [[nodiscard]] std::size_t request_count() const { return order_.size(); }
+  [[nodiscard]] std::size_t completed_count() const { return completed_; }
+
+  /// All request records, in arrival order.
+  [[nodiscard]] std::vector<const RequestRecord*> requests() const;
+
+  /// Spans of one request, in start-time order.
+  [[nodiscard]] std::vector<const Span*> spans_of(RequestId id) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::unordered_map<RequestId, RequestRecord> records_;
+  std::vector<RequestId> order_;
+  std::unordered_map<RequestId, std::vector<std::size_t>> spans_by_request_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace vmlp::trace

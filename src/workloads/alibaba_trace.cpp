@@ -1,0 +1,72 @@
+#include "workloads/alibaba_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace vmlp::workloads {
+
+std::size_t AlibabaTrace::peaks_above(double threshold) const {
+  std::size_t peaks = 0;
+  for (std::size_t i = 1; i + 1 < utilization.size(); ++i) {
+    if (utilization[i] > threshold && utilization[i] >= utilization[i - 1] &&
+        utilization[i] >= utilization[i + 1]) {
+      ++peaks;
+    }
+  }
+  return peaks;
+}
+
+double AlibabaTrace::mean() const {
+  if (utilization.empty()) return 0.0;
+  double s = 0.0;
+  for (double u : utilization) s += u;
+  return s / static_cast<double>(utilization.size());
+}
+
+double AlibabaTrace::max() const {
+  return utilization.empty() ? 0.0 : *std::max_element(utilization.begin(), utilization.end());
+}
+
+AlibabaTrace generate_alibaba_trace(const AlibabaTraceParams& params, std::uint64_t seed) {
+  VMLP_CHECK_MSG(params.days > 0, "trace needs at least one day");
+  VMLP_CHECK_MSG(params.sample_interval > 0, "positive sample interval required");
+  VMLP_CHECK(params.surge_len_lo >= 1 && params.surge_len_hi >= params.surge_len_lo);
+
+  Rng rng(seed);
+  const auto samples_per_day =
+      static_cast<std::size_t>((24LL * 3600 * kSec) / params.sample_interval);
+  const std::size_t n = samples_per_day * static_cast<std::size_t>(params.days);
+
+  AlibabaTrace trace;
+  trace.sample_interval = params.sample_interval;
+  trace.utilization.reserve(n);
+
+  int surge_remaining = 0;
+  double surge_level = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double day_phase =
+        static_cast<double>(i % samples_per_day) / static_cast<double>(samples_per_day);
+    // Diurnal curve peaking in the (synthetic) evening.
+    const double diurnal =
+        params.base_utilization +
+        params.diurnal_amplitude * std::sin(2.0 * std::numbers::pi * (day_phase - 0.25));
+    double u = diurnal + rng.normal(0.0, params.noise_sigma);
+
+    if (surge_remaining > 0) {
+      --surge_remaining;
+      u = std::max(u, surge_level + rng.normal(0.0, params.noise_sigma * 0.5));
+    } else if (rng.bernoulli(params.surge_prob)) {
+      surge_remaining =
+          static_cast<int>(rng.uniform_int(params.surge_len_lo, params.surge_len_hi));
+      surge_level = params.surge_peak * rng.uniform(0.85, 1.0);
+      u = std::max(u, surge_level);
+    }
+    trace.utilization.push_back(std::clamp(u, 0.0, 1.0));
+  }
+  return trace;
+}
+
+}  // namespace vmlp::workloads

@@ -1,0 +1,42 @@
+// Synthetic Alibaba-style container-utilization trace (Fig. 3(b) substitute).
+//
+// The paper reads an eight-day production container trace [3] solely to show
+// that microservice traffic fluctuates heavily with frequent surges. We
+// synthesize a trace with the same structure: a diurnal base load, short-term
+// noise, and random traffic surges, at a configurable sampling interval.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace vmlp::workloads {
+
+struct AlibabaTraceParams {
+  int days = 8;
+  SimDuration sample_interval = 5 * 60 * kSec;  ///< 5-minute samples
+  double base_utilization = 0.35;   ///< daily mean CPU utilization
+  double diurnal_amplitude = 0.15;  ///< day/night swing
+  double noise_sigma = 0.05;        ///< short-term jitter
+  double surge_prob = 0.012;        ///< per-sample probability a surge starts
+  double surge_peak = 0.92;         ///< utilization a surge jumps to
+  int surge_len_lo = 2;             ///< surge duration in samples
+  int surge_len_hi = 8;
+};
+
+struct AlibabaTrace {
+  SimDuration sample_interval = 0;
+  std::vector<double> utilization;  ///< one entry per interval, in [0, 1]
+
+  [[nodiscard]] std::size_t sample_count() const { return utilization.size(); }
+  /// Number of local peaks above `threshold`.
+  [[nodiscard]] std::size_t peaks_above(double threshold) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
+};
+
+/// Deterministically generate a trace from the given seed.
+AlibabaTrace generate_alibaba_trace(const AlibabaTraceParams& params, std::uint64_t seed);
+
+}  // namespace vmlp::workloads

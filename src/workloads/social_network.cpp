@@ -1,0 +1,122 @@
+#include "workloads/social_network.h"
+
+#include "common/error.h"
+
+namespace vmlp::workloads {
+
+namespace {
+// Global time scale: calibrates the benchmark suite so the paper's 1000 req/s
+// peak meaningfully loads the 100-machine cluster (Section V-B).
+constexpr double kServiceTimeScale = 1.6;
+SimDuration scaled_ms(double ms) {
+  return static_cast<SimDuration>(ms * kServiceTimeScale * kMsec);
+}
+}  // namespace
+
+using app::ResourceIntensity;
+using app::ServiceClass;
+using cluster::ResourceVector;
+
+std::unique_ptr<app::Application> make_social_network(SocialNetworkIds* ids) {
+  auto application = std::make_unique<app::Application>("SocialNetwork");
+  add_social_network(*application, ids);
+  return application;
+}
+
+void add_social_network(app::Application& sn, SocialNetworkIds* ids) {
+
+  // 12 microservices — demand {cpu mC, mem MB, io MB/s}, nominal time, {I,S,C}.
+  // Write-path services are volatile (media processing, fan-out); read-path
+  // services are cache-backed and stable.
+  const auto nginx = sn.add_service("nginx", {1200, 256, 120}, scaled_ms(4),
+                                    ServiceClass{2, 2, 2}, ResourceIntensity::kCpuIo);
+  const auto unique_id = sn.add_service("unique-id", {600, 128, 20}, scaled_ms(3),
+                                        ServiceClass{3, 2, 3}, ResourceIntensity::kCpu);
+  const auto url_shorten = sn.add_service("url-shorten", {900, 192, 40}, scaled_ms(6),
+                                          ServiceClass{3, 3, 2}, ResourceIntensity::kCpu);
+  const auto user_mention = sn.add_service("user-mention", {1100, 256, 60}, scaled_ms(8),
+                                           ServiceClass{3, 3, 3}, ResourceIntensity::kCpu);
+  const auto text = sn.add_service("text", {1800, 384, 50}, scaled_ms(14),
+                                   ServiceClass{3, 3, 3}, ResourceIntensity::kCpu);
+  const auto media = sn.add_service("media", {2600, 768, 420}, scaled_ms(30),
+                                    ServiceClass{3, 3, 3}, ResourceIntensity::kCpuIo);
+  const auto user = sn.add_service("user", {900, 256, 80}, scaled_ms(6),
+                                   ServiceClass{3, 2, 3}, ResourceIntensity::kCpu);
+  const auto compose = sn.add_service("compose-post", {2200, 512, 160}, scaled_ms(22),
+                                      ServiceClass{3, 3, 3}, ResourceIntensity::kCpuIo);
+  const auto post_storage = sn.add_service("post-storage", {700, 640, 360}, scaled_ms(9),
+                                           ServiceClass{2, 2, 2}, ResourceIntensity::kIo);
+  const auto home_timeline = sn.add_service("home-timeline", {800, 512, 300}, scaled_ms(8),
+                                            ServiceClass{1, 2, 2}, ResourceIntensity::kIo);
+  const auto user_timeline = sn.add_service("user-timeline", {800, 512, 280}, scaled_ms(7),
+                                            ServiceClass{1, 2, 2}, ResourceIntensity::kIo);
+  // social-graph is the rare "less variable" service (Fig. 3(c)): cached
+  // adjacency lookups barely notice resource capping.
+  const auto social_graph = sn.add_service("social-graph", {600, 448, 240}, scaled_ms(5),
+                                           ServiceClass{1, 1, 2}, ResourceIntensity::kIo);
+
+  // compose-post: nginx fans out to the ingestion services; text spawns
+  // url-shorten and user-mention; everything joins at compose-post, which
+  // persists via post-storage (timeline fan-out is asynchronous in the real
+  // benchmark and off the request's critical DAG).
+  SocialNetworkIds out{};
+  {
+    auto b = sn.build_request("compose-post");
+    b.node(nginx)               // 0
+        .node(text, 1.2)        // 1
+        .node(media, 1.0)       // 2
+        .node(unique_id)        // 3
+        .node(user)             // 4
+        .node(url_shorten)      // 5
+        .node(user_mention)     // 6
+        .node(compose, 1.1)     // 7
+        .node(post_storage, 1.4)  // 8: write path does more work than reads
+        .edge(0, 1)
+        .edge(0, 2)
+        .edge(0, 3)
+        .edge(0, 4)
+        .edge(1, 5)
+        .edge(1, 6)
+        .edge(2, 7)
+        .edge(3, 7)
+        .edge(4, 7)
+        .edge(5, 7)
+        .edge(6, 7)
+        .edge(7, 8);
+    out.compose_post = b.commit();
+  }
+  // read-home-timeline: nginx -> home-timeline -> {social-graph, post-storage}.
+  {
+    auto b = sn.build_request("read-home-timeline");
+    b.node(nginx, 0.8)            // 0
+        .node(home_timeline)      // 1
+        .node(social_graph)       // 2
+        .node(post_storage, 0.7)  // 3
+        .edge(0, 1)
+        .edge(1, 2)
+        .edge(1, 3);
+    out.read_home_timeline = b.commit();
+  }
+  // read-user-timeline: nginx -> user-timeline -> post-storage.
+  {
+    auto b = sn.build_request("read-user-timeline");
+    b.node(nginx, 0.8)            // 0
+        .node(user_timeline)      // 1
+        .node(post_storage, 0.7)  // 2
+        .edge(0, 1)
+        .edge(1, 2);
+    out.read_user_timeline = b.commit();
+  }
+
+  // Table V sanity: the computed volatilities must land in the paper's bands.
+  VMLP_CHECK_MSG(sn.band(out.compose_post) == app::VolatilityBand::kHigh,
+                 "compose-post V_r=" << sn.volatility(out.compose_post) << " not high");
+  VMLP_CHECK_MSG(sn.band(out.read_home_timeline) == app::VolatilityBand::kLow,
+                 "read-home-timeline V_r=" << sn.volatility(out.read_home_timeline) << " not low");
+  VMLP_CHECK_MSG(sn.band(out.read_user_timeline) == app::VolatilityBand::kLow,
+                 "read-user-timeline V_r=" << sn.volatility(out.read_user_timeline) << " not low");
+
+  if (ids != nullptr) *ids = out;
+}
+
+}  // namespace vmlp::workloads

@@ -1,0 +1,32 @@
+// SocialNetwork — the academic open-source benchmark of [13] (DeathStarBench),
+// modelled as 12 microservices (the Fig. 3(a) set) and three request types:
+//
+//   compose-post        — high V_r  (Table V)
+//   read-home-timeline  — low V_r
+//   read-user-timeline  — low V_r
+//
+// I/S/C classes are tuned so the computed V_r lands in the paper's bands
+// while remaining consistent properties of each service across request types.
+#pragma once
+
+#include <memory>
+
+#include "app/application.h"
+
+namespace vmlp::workloads {
+
+struct SocialNetworkIds {
+  RequestTypeId compose_post;
+  RequestTypeId read_home_timeline;
+  RequestTypeId read_user_timeline;
+};
+
+/// Register the SocialNetwork services and request types into an existing
+/// application (used to compose the combined benchmark suite).
+void add_social_network(app::Application& application, SocialNetworkIds* ids = nullptr);
+
+/// Build the SocialNetwork application model. `ids` (optional) receives the
+/// request-type handles.
+std::unique_ptr<app::Application> make_social_network(SocialNetworkIds* ids = nullptr);
+
+}  // namespace vmlp::workloads

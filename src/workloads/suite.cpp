@@ -1,0 +1,14 @@
+#include "workloads/suite.h"
+
+namespace vmlp::workloads {
+
+std::unique_ptr<app::Application> make_benchmark_suite(SuiteIds* ids) {
+  auto application = std::make_unique<app::Application>("SN+TT");
+  SuiteIds out{};
+  add_social_network(*application, &out.sn);
+  add_train_ticket(*application, &out.tt);
+  if (ids != nullptr) *ids = out;
+  return application;
+}
+
+}  // namespace vmlp::workloads

@@ -1,0 +1,22 @@
+// Combined benchmark suite: SocialNetwork + TrainTicket in one application
+// model — the paper's evaluation mixes request types across both benchmarks
+// within each V_r category (Table V).
+#pragma once
+
+#include <memory>
+
+#include "workloads/social_network.h"
+#include "workloads/train_ticket.h"
+
+namespace vmlp::workloads {
+
+struct SuiteIds {
+  SocialNetworkIds sn;
+  TrainTicketIds tt;
+};
+
+/// Build the combined application (12 SN + 12 TT microservices, the five
+/// request types of Table V).
+std::unique_ptr<app::Application> make_benchmark_suite(SuiteIds* ids = nullptr);
+
+}  // namespace vmlp::workloads

@@ -1,0 +1,101 @@
+#include "workloads/train_ticket.h"
+
+#include "common/error.h"
+
+namespace vmlp::workloads {
+
+namespace {
+// Global time scale: calibrates the benchmark suite so the paper's 1000 req/s
+// peak meaningfully loads the 100-machine cluster (Section V-B).
+constexpr double kServiceTimeScale = 1.6;
+SimDuration scaled_ms(double ms) {
+  return static_cast<SimDuration>(ms * kServiceTimeScale * kMsec);
+}
+}  // namespace
+
+using app::ResourceIntensity;
+using app::ServiceClass;
+
+std::unique_ptr<app::Application> make_train_ticket(TrainTicketIds* ids) {
+  auto application = std::make_unique<app::Application>("TrainTicket");
+  add_train_ticket(*application, ids);
+  return application;
+}
+
+void add_train_ticket(app::Application& tt, TrainTicketIds* ids) {
+
+  const auto ui = tt.add_service("ui-dashboard", {1000, 256, 100}, scaled_ms(5),
+                                 ServiceClass{2, 2, 2}, ResourceIntensity::kCpuIo);
+  const auto travel = tt.add_service("travel", {2000, 512, 80}, scaled_ms(20),
+                                     ServiceClass{3, 2, 3}, ResourceIntensity::kCpu);
+  const auto ticketinfo = tt.add_service("ticketinfo", {700, 384, 260}, scaled_ms(7),
+                                         ServiceClass{2, 2, 2}, ResourceIntensity::kIo);
+  const auto basic = tt.add_service("basic", {1400, 384, 60}, scaled_ms(10),
+                                    ServiceClass{2, 3, 2}, ResourceIntensity::kCpu);
+  const auto station = tt.add_service("station", {500, 256, 200}, scaled_ms(4),
+                                      ServiceClass{1, 2, 2}, ResourceIntensity::kIo);
+  const auto train = tt.add_service("train", {600, 320, 240}, scaled_ms(6),
+                                    ServiceClass{2, 2, 2}, ResourceIntensity::kIo);
+  const auto route = tt.add_service("route", {1800, 448, 70}, scaled_ms(12),
+                                    ServiceClass{3, 3, 2}, ResourceIntensity::kCpu);
+  const auto price = tt.add_service("price", {1200, 320, 50}, scaled_ms(8),
+                                    ServiceClass{2, 3, 3}, ResourceIntensity::kCpu);
+  const auto order = tt.add_service("order", {2400, 768, 380}, scaled_ms(25),
+                                    ServiceClass{3, 3, 3}, ResourceIntensity::kCpuIo);
+  const auto seat = tt.add_service("seat", {2000, 512, 90}, scaled_ms(15),
+                                   ServiceClass{3, 3, 3}, ResourceIntensity::kCpu);
+  const auto config = tt.add_service("config", {400, 192, 160}, scaled_ms(3),
+                                     ServiceClass{1, 2, 2}, ResourceIntensity::kIo);
+  const auto food = tt.add_service("food", {600, 256, 220}, scaled_ms(6),
+                                   ServiceClass{2, 2, 2}, ResourceIntensity::kIo);
+  (void)config;
+  (void)food;
+
+  TrainTicketIds out{};
+  // getCheapest — the advanced-search chain: a deep pipeline through the
+  // volatile booking services (travel plan → route → seat availability →
+  // order history → pricing).
+  {
+    auto b = tt.build_request("getCheapest");
+    b.node(ui)                 // 0
+        .node(travel, 1.5)     // 1: advanced plan enumeration
+        .node(route, 1.3)      // 2
+        .node(seat, 1.2)       // 3
+        .node(order, 1.0)      // 4: the Fig. 2 "order" worst case
+        .node(price, 1.4)      // 5
+        .chain({0, 1, 2, 3, 4, 5});
+    out.get_cheapest = b.commit();
+  }
+  // basicSearch — wider but shallower: ticket info fans out to the stable
+  // lookup services, then price joins.
+  {
+    auto b = tt.build_request("basicSearch");
+    b.node(ui)                  // 0
+        .node(travel, 0.7)      // 1: basic plan lookup
+        .node(ticketinfo)       // 2
+        .node(basic)            // 3
+        .node(station)          // 4
+        .node(train)            // 5
+        .node(route, 0.8)       // 6
+        .node(price, 0.9)       // 7
+        .edge(0, 1)
+        .edge(1, 2)
+        .edge(2, 3)
+        .edge(3, 4)
+        .edge(3, 5)
+        .edge(3, 6)
+        .edge(4, 7)
+        .edge(5, 7)
+        .edge(6, 7);
+    out.basic_search = b.commit();
+  }
+
+  VMLP_CHECK_MSG(tt.band(out.get_cheapest) == app::VolatilityBand::kHigh,
+                 "getCheapest V_r=" << tt.volatility(out.get_cheapest) << " not high");
+  VMLP_CHECK_MSG(tt.band(out.basic_search) == app::VolatilityBand::kMid,
+                 "basicSearch V_r=" << tt.volatility(out.basic_search) << " not mid");
+
+  if (ids != nullptr) *ids = out;
+}
+
+}  // namespace vmlp::workloads

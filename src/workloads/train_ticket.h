@@ -1,0 +1,31 @@
+// TrainTicket — the industrial open-source benchmark of [46], modelled as 12
+// microservices and the two request types the paper evaluates (Table V):
+//
+//   getCheapest  (advanced search / Advanced Ticketing) — high V_r
+//   basicSearch  (Basic Search)                         — mid V_r
+//
+// The six "representative microservices" of Fig. 2 (order, seat, travel,
+// route, price, basic) appear across these DAGs with request-type-specific
+// time scales, reproducing the execution-logic heterogeneity the paper
+// characterizes.
+#pragma once
+
+#include <memory>
+
+#include "app/application.h"
+
+namespace vmlp::workloads {
+
+struct TrainTicketIds {
+  RequestTypeId get_cheapest;
+  RequestTypeId basic_search;
+};
+
+/// Register the TrainTicket services and request types into an existing
+/// application (used to compose the combined benchmark suite).
+void add_train_ticket(app::Application& application, TrainTicketIds* ids = nullptr);
+
+/// Build the TrainTicket application model.
+std::unique_ptr<app::Application> make_train_ticket(TrainTicketIds* ids = nullptr);
+
+}  // namespace vmlp::workloads

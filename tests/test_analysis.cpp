@@ -1,0 +1,110 @@
+// Latency-decomposition analysis over traced runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exp/analysis.h"
+#include "mlp/vmlp.h"
+#include "sched/driver.h"
+#include "workloads/suite.h"
+
+namespace vmlp::exp {
+namespace {
+
+TEST(Analysis, HandMadeTraceDecomposes) {
+  auto application = workloads::make_benchmark_suite();
+  const auto type = *application->find_request("read-user-timeline");  // 3-chain
+  const auto& rt = application->request(type);
+  ASSERT_EQ(rt.size(), 3u);
+
+  trace::Tracer tracer;
+  tracer.on_request_arrival(RequestId(1), type, 1000);
+  // ingress 500, spans 2000/3000/1000 with handoffs 400 and 600.
+  tracer.record_span({RequestId(1), type, rt.nodes()[0].service, InstanceId(0), MachineId(0),
+                      1500, 3500});
+  tracer.record_span({RequestId(1), type, rt.nodes()[1].service, InstanceId(1), MachineId(1),
+                      3900, 6900});
+  tracer.record_span({RequestId(1), type, rt.nodes()[2].service, InstanceId(2), MachineId(2),
+                      7500, 8500});
+  tracer.on_request_completion(RequestId(1), 8500);
+
+  const auto breakdown = analyze_request(tracer, *application, RequestId(1));
+  ASSERT_TRUE(breakdown.has_value());
+  EXPECT_EQ(breakdown->total, 7500);
+  EXPECT_EQ(breakdown->ingress, 500);
+  EXPECT_EQ(breakdown->execution, 2000 + 3000 + 1000);
+  EXPECT_EQ(breakdown->handoff, 400 + 600);
+  EXPECT_EQ(breakdown->dominant_stage, 1u);  // 3000us span
+  // Components account for the whole latency on a pure chain.
+  EXPECT_EQ(breakdown->ingress + breakdown->execution + breakdown->handoff, breakdown->total);
+}
+
+TEST(Analysis, UnfinishedRequestIsSkipped) {
+  auto application = workloads::make_benchmark_suite();
+  trace::Tracer tracer;
+  tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 0);
+  EXPECT_FALSE(analyze_request(tracer, *application, RequestId(1)).has_value());
+  EXPECT_FALSE(analyze_request(tracer, *application, RequestId(9)).has_value());
+}
+
+TEST(Analysis, EndToEndRunDecomposesEverything) {
+  auto application = workloads::make_benchmark_suite();
+  mlp::VmlpScheduler scheduler;
+  sched::DriverParams params;
+  params.horizon = 10 * kSec;
+  params.cluster.machine_count = 10;
+  params.machines_per_rack = 5;
+  params.seed = 71;
+  sched::SimulationDriver driver(*application, scheduler, params);
+  std::vector<loadgen::Arrival> arrivals;
+  for (int i = 0; i < 60; ++i) {
+    arrivals.push_back({kMsec + i * 100 * kMsec,
+                        RequestTypeId(static_cast<std::uint32_t>(i % application->request_count()))});
+  }
+  driver.load_arrivals(arrivals);
+  const auto result = driver.run();
+
+  const auto breakdowns = analyze_all(driver.tracer(), *application);
+  ASSERT_FALSE(breakdowns.empty());
+  std::size_t analyzed = 0;
+  for (const auto& b : breakdowns) {
+    analyzed += b.requests;
+    EXPECT_GT(b.total.mean(), 0.0);
+    EXPECT_GT(b.execution.mean(), 0.0);
+    EXPECT_GE(b.handoff.mean(), 0.0);
+    EXPECT_GE(b.ingress.mean(), 0.0);
+    // Critical-path components cannot exceed total.
+    EXPECT_LE(b.execution.mean() + b.handoff.mean() + b.ingress.mean(),
+              b.total.mean() * 1.0 + 1.0);
+    EXPECT_GE(b.handoff_share(), 0.0);
+    EXPECT_LT(b.handoff_share(), 1.0);
+    EXPECT_NE(b.dominant_service(*application), "-");
+  }
+  EXPECT_EQ(analyzed, result.completed);
+}
+
+TEST(Analysis, DominantServiceMatchesHeaviestStage) {
+  auto application = workloads::make_benchmark_suite();
+  mlp::VmlpScheduler scheduler;
+  sched::DriverParams params;
+  params.horizon = 8 * kSec;
+  params.cluster.machine_count = 10;
+  params.machines_per_rack = 5;
+  params.seed = 72;
+  sched::SimulationDriver driver(*application, scheduler, params);
+  std::vector<loadgen::Arrival> arrivals;
+  const auto cheapest = *application->find_request("getCheapest");
+  for (int i = 0; i < 30; ++i) arrivals.push_back({kMsec + i * 150 * kMsec, cheapest});
+  driver.load_arrivals(arrivals);
+  driver.run();
+
+  const auto breakdowns = analyze_all(driver.tracer(), *application);
+  ASSERT_EQ(breakdowns.size(), 1u);
+  // getCheapest's heaviest stages are travel (~30ms scaled) and order (25ms):
+  // the dominant service must be one of the two heavyweights.
+  const std::string dominant = breakdowns[0].dominant_service(*application);
+  EXPECT_TRUE(dominant == "travel" || dominant == "order") << dominant;
+}
+
+}  // namespace
+}  // namespace vmlp::exp

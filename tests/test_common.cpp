@@ -1,0 +1,168 @@
+// Common utilities: SimTime formatting, strong ids, Config, logging.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/types.h"
+
+namespace vmlp {
+namespace {
+
+TEST(Types, FormatTime) {
+  EXPECT_EQ(format_time(500), "500us");
+  EXPECT_EQ(format_time(1500), "1.500ms");
+  EXPECT_EQ(format_time(2 * kSec + 500 * kMsec), "2.500s");
+  EXPECT_EQ(format_time(kTimeInfinity), "+inf");
+  EXPECT_EQ(format_time(-1500), "-1.500ms");
+}
+
+TEST(Types, TimeConstants) {
+  EXPECT_EQ(kMsec, 1000);
+  EXPECT_EQ(kSec, 1000000);
+}
+
+TEST(StrongId, DefaultIsInvalid) {
+  MachineId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, MachineId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  MachineId id(5);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 5u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(MachineId(1), MachineId(2));
+  EXPECT_NE(MachineId(1), MachineId(2));
+  EXPECT_EQ(MachineId(3), MachineId(3));
+}
+
+TEST(StrongId, DistinctIdSpacesAreDistinctTypes) {
+  static_assert(!std::is_same_v<MachineId, ServiceTypeId>);
+  static_assert(!std::is_same_v<RequestId, InstanceId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::hash<MachineId> h;
+  EXPECT_EQ(h(MachineId(4)), h(MachineId(4)));
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    VMLP_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) { VMLP_CHECK(1 + 1 == 2); }
+
+TEST(Config, ParseBasic) {
+  const auto cfg = Config::parse("a = 1\nb = hello\n# comment\n; also comment\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "hello");
+  EXPECT_EQ(cfg.size(), 2u);
+}
+
+TEST(Config, SectionsFlattenToDottedKeys) {
+  const auto cfg = Config::parse("[cluster]\nmachines = 100\n[sim]\nseed = 7\n");
+  EXPECT_EQ(cfg.get_int("cluster.machines", 0), 100);
+  EXPECT_EQ(cfg.get_int("sim.seed", 0), 7);
+}
+
+TEST(Config, TypedGettersWithDefaults) {
+  const auto cfg = Config::parse("x = 2.5\nflag = true\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 0.0), 2.5);
+  EXPECT_TRUE(cfg.get_bool("flag", false));
+  EXPECT_EQ(cfg.get_int("missing", 9), 9);
+  EXPECT_EQ(cfg.get_string("missing", "d"), "d");
+}
+
+TEST(Config, BoolSpellings) {
+  const auto cfg = Config::parse("a=true\nb=1\nc=yes\nd=on\ne=false\nf=0\ng=no\nh=off\n");
+  for (const char* k : {"a", "b", "c", "d"}) EXPECT_TRUE(cfg.get_bool(k, false)) << k;
+  for (const char* k : {"e", "f", "g", "h"}) EXPECT_FALSE(cfg.get_bool(k, true)) << k;
+}
+
+TEST(Config, MalformedLinesThrow) {
+  EXPECT_THROW(Config::parse("novalue\n"), ConfigError);
+  EXPECT_THROW(Config::parse("[unterminated\n"), ConfigError);
+  EXPECT_THROW(Config::parse("[]\nx=1\n"), ConfigError);
+  EXPECT_THROW(Config::parse("= value\n"), ConfigError);
+}
+
+TEST(Config, BadTypedValuesThrow) {
+  const auto cfg = Config::parse("x = notanumber\n");
+  EXPECT_THROW(cfg.get_int("x", 0), ConfigError);
+  EXPECT_THROW(cfg.get_double("x", 0.0), ConfigError);
+  EXPECT_THROW(cfg.get_bool("x", false), ConfigError);
+}
+
+TEST(Config, RequireThrowsWhenAbsent) {
+  const Config cfg;
+  EXPECT_THROW(cfg.require_string("k"), ConfigError);
+  EXPECT_THROW(cfg.require_int("k"), ConfigError);
+  EXPECT_THROW(cfg.require_double("k"), ConfigError);
+}
+
+TEST(Config, SettersRoundTrip) {
+  Config cfg;
+  cfg.set_int("i", -5);
+  cfg.set_double("d", 1.25);
+  cfg.set_bool("b", true);
+  cfg.set("s", "str");
+  EXPECT_EQ(cfg.require_int("i"), -5);
+  EXPECT_DOUBLE_EQ(cfg.require_double("d"), 1.25);
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_EQ(cfg.require_string("s"), "str");
+}
+
+TEST(Config, MergePrefersOther) {
+  Config a = Config::parse("x = 1\ny = 2\n");
+  const Config b = Config::parse("y = 3\nz = 4\n");
+  a.merge(b);
+  EXPECT_EQ(a.get_int("x", 0), 1);
+  EXPECT_EQ(a.get_int("y", 0), 3);
+  EXPECT_EQ(a.get_int("z", 0), 4);
+}
+
+TEST(Config, KeysSorted) {
+  const auto cfg = Config::parse("b=1\na=2\n");
+  const auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(Config, ParseFileMissingThrows) {
+  EXPECT_THROW(Config::parse_file("/nonexistent/path/cfg.ini"), ConfigError);
+}
+
+TEST(Log, SinkCapturesMessages) {
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kInfo);
+  VMLP_INFO("hello " << 1);
+  VMLP_DEBUG("suppressed");
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(LogLevel::kWarn);
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("hello 1"), std::string::npos);
+  EXPECT_EQ(out.find("suppressed"), std::string::npos);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace vmlp

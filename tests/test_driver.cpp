@@ -1,0 +1,311 @@
+// SimulationDriver mechanism tests: placement, execution, communication,
+// contention, reservations, limits, accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "sched/driver.h"
+#include "sched/scheduler.h"
+
+namespace vmlp::sched {
+namespace {
+
+/// Scripted scheduler: places every node on machine 0 at full demand as soon
+/// as the request arrives (chain pre-planning), or on unblock when
+/// `plan_ahead` is false.
+class ScriptedScheduler : public IScheduler {
+ public:
+  explicit ScriptedScheduler(bool plan_ahead = true) : plan_ahead_(plan_ahead) {}
+
+  [[nodiscard]] std::string name() const override { return "scripted"; }
+
+  void on_request_arrival(RequestId id) override {
+    ActiveRequest* ar = driver_->find_request(id);
+    if (plan_ahead_) {
+      for (std::size_t n = 0; n < ar->nodes.size(); ++n) place_node(id, n);
+    } else {
+      for (std::size_t n : ar->runtime.ready_nodes()) place_node(id, n);
+    }
+  }
+  void on_node_unblocked(RequestId id, std::size_t node) override {
+    if (!plan_ahead_) place_node(id, node);
+  }
+  void on_tick() override {}
+  void on_late_invocation(RequestId id, std::size_t node) override {
+    ++late_count;
+    (void)id;
+    (void)node;
+  }
+  void on_node_finished(RequestId, std::size_t) override { ++finished_nodes; }
+  void on_request_finished(RequestId) override { ++finished_requests; }
+
+  int late_count = 0;
+  int finished_nodes = 0;
+  int finished_requests = 0;
+  MachineId target = MachineId(0);
+  SimDuration reserve = 50 * kMsec;
+
+ private:
+  void place_node(RequestId id, std::size_t node) {
+    ActiveRequest* ar = driver_->find_request(id);
+    const auto& req_node = ar->runtime.type().nodes()[node];
+    const auto& svc = driver_->application().service(req_node.service);
+    driver_->place(id, node, target, svc.demand, driver_->now(), reserve);
+  }
+  bool plan_ahead_;
+};
+
+/// Two-stage chain application with deterministic-ish services.
+std::unique_ptr<app::Application> make_chain_app() {
+  auto application = std::make_unique<app::Application>("chain");
+  const auto a = application->add_service("front", {1000, 256, 50}, 10 * kMsec,
+                                          app::ServiceClass{1, 2, 1}, app::ResourceIntensity::kCpu);
+  const auto b = application->add_service("back", {1000, 256, 50}, 20 * kMsec,
+                                          app::ServiceClass{1, 2, 1}, app::ResourceIntensity::kCpu);
+  auto builder = application->build_request("r");
+  builder.node(a).node(b).chain({0, 1});
+  builder.commit();
+  return application;
+}
+
+DriverParams small_params() {
+  DriverParams p;
+  p.horizon = 5 * kSec;
+  p.cluster.machine_count = 4;
+  p.cluster.machine_capacity = {4000, 16384, 1000};
+  p.machines_per_rack = 2;
+  p.seed = 99;
+  p.profile_warmup = 16;
+  return p;
+}
+
+TEST(Driver, SingleRequestExecutesChain) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  driver.load_arrivals({{10 * kMsec, RequestTypeId(0)}});
+  const RunResult result = driver.run();
+
+  EXPECT_EQ(result.arrived, 1u);
+  EXPECT_EQ(result.completed, 1u);
+  EXPECT_EQ(result.unfinished, 0u);
+  EXPECT_EQ(sched.finished_nodes, 2);
+  EXPECT_EQ(sched.finished_requests, 1);
+  // ~30ms of service + communication; far below the 5x SLO.
+  EXPECT_DOUBLE_EQ(result.qos_violation_rate, 0.0);
+  EXPECT_GT(result.p50_latency_us, 30000.0 * 0.8);
+  EXPECT_LT(result.p50_latency_us, 30000.0 * 2.5);
+}
+
+TEST(Driver, SpanCausality) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  driver.load_arrivals({{10 * kMsec, RequestTypeId(0)}});
+  driver.run();
+
+  const auto spans = driver.tracer().spans_of(RequestId(0));
+  ASSERT_EQ(spans.size(), 2u);
+  // Child cannot start before the parent ends plus >= 1us of communication.
+  EXPECT_GT(spans[1]->start, spans[0]->end);
+  EXPECT_GT(spans[0]->start, 10 * kMsec);  // after arrival + ingress
+  EXPECT_GT(spans[0]->duration(), 0);
+}
+
+TEST(Driver, ProfileStoreFedByExecution) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  DriverParams params = small_params();
+  params.profile_warmup = 0;
+  SimulationDriver driver(*application, sched, params);
+  EXPECT_FALSE(driver.profiles().has_history(ServiceTypeId(0), RequestTypeId(0)));
+  driver.load_arrivals({{10 * kMsec, RequestTypeId(0)}});
+  driver.run();
+  EXPECT_EQ(driver.profiles().case_count(ServiceTypeId(0), RequestTypeId(0)), 1u);
+  EXPECT_EQ(driver.profiles().case_count(ServiceTypeId(1), RequestTypeId(0)), 1u);
+}
+
+TEST(Driver, WarmupPopulatesProfiles) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  EXPECT_EQ(driver.profiles().case_count(ServiceTypeId(0), RequestTypeId(0)), 16u);
+}
+
+TEST(Driver, ContainersAndReservationsCleanedUp) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  driver.load_arrivals({{10 * kMsec, RequestTypeId(0)}, {20 * kMsec, RequestTypeId(0)}});
+  driver.run();
+  for (const auto& m : driver.cluster().machines()) {
+    EXPECT_EQ(m.container_count(), 0u);
+    // All reservations released: nothing left in the far future.
+    EXPECT_EQ(m.ledger().usage_at(10 * kSec), cluster::ResourceVector::zero());
+  }
+}
+
+TEST(Driver, OversubscriptionSlowsExecution) {
+  // 8 concurrent requests pinned to one 4-core machine vs. one alone:
+  // contention must stretch execution times.
+  auto run_with = [](std::size_t n_requests) {
+    auto application = make_chain_app();
+    ScriptedScheduler sched(false);
+    SimulationDriver driver(*application, sched, small_params());
+    std::vector<loadgen::Arrival> arrivals;
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      arrivals.push_back({10 * kMsec, RequestTypeId(0)});
+    }
+    driver.load_arrivals(arrivals);
+    const RunResult r = driver.run();
+    EXPECT_EQ(r.completed, n_requests);
+    return r.mean_latency_us;
+  };
+  const double alone = run_with(1);
+  const double crowded = run_with(8);
+  EXPECT_GT(crowded, alone * 1.5);
+}
+
+TEST(Driver, LateInvocationDelivered) {
+  // Plan the child to start immediately (planned_start=now at arrival), but
+  // its parent takes ~10ms: the child is late and the hook must fire.
+  auto application = make_chain_app();
+  ScriptedScheduler sched(true);
+  SimulationDriver driver(*application, sched, small_params());
+  driver.load_arrivals({{10 * kMsec, RequestTypeId(0)}});
+  driver.run();
+  EXPECT_GE(sched.late_count, 1);
+  EXPECT_GE(driver.counters().late_events, 1u);
+}
+
+TEST(Driver, AdjustLimitAccelerates) {
+  // Start a node at a quarter of its demand, then raise the limit mid-run;
+  // it must finish sooner than a run left capped.
+  auto run_with = [](bool stretch) {
+    auto application = std::make_unique<app::Application>("one");
+    const auto svc = application->add_service("s", {2000, 256, 50}, 50 * kMsec,
+                                              app::ServiceClass{1, 2, 1},
+                                              app::ResourceIntensity::kCpu);
+    auto builder = application->build_request("r");
+    builder.node(svc);
+    builder.commit();
+
+    class CappedScheduler : public IScheduler {
+     public:
+      explicit CappedScheduler(bool stretch) : stretch_(stretch) {}
+      [[nodiscard]] std::string name() const override { return "capped"; }
+      void on_request_arrival(RequestId id) override {
+        ActiveRequest* ar = driver_->find_request(id);
+        const auto& svc = driver_->application().service(ar->runtime.type().nodes()[0].service);
+        driver_->place(id, 0, MachineId(0), svc.demand * 0.25, driver_->now(), 300 * kMsec);
+      }
+      void on_node_unblocked(RequestId, std::size_t) override {}
+      void on_node_started(RequestId id, std::size_t node) override {
+        if (stretch_) {
+          // The resource-stretch actuation path.
+          const auto& svc =
+              driver_->application().service(
+                  driver_->find_request(id)->runtime.type().nodes()[node].service);
+          driver_->adjust_limit(id, node, svc.demand);
+        }
+      }
+      void on_tick() override {}
+
+     private:
+      bool stretch_;
+    };
+
+    CappedScheduler sched(stretch);
+    DriverParams params;
+    params.horizon = 3 * kSec;
+    params.cluster.machine_count = 2;
+    params.seed = 5;
+    SimulationDriver driver(*application, sched, params);
+    driver.load_arrivals({{kMsec, RequestTypeId(0)}});
+    const RunResult r = driver.run();
+    EXPECT_EQ(r.completed, 1u);
+    return r.mean_latency_us;
+  };
+  const double capped = run_with(false);
+  const double stretched = run_with(true);
+  // S=2 at f=4 runs 4x slower; lifting the cap right at start restores ~1x.
+  EXPECT_GT(capped, stretched * 2.0);
+}
+
+TEST(Driver, UnfinishedCountedAsViolations) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  DriverParams params = small_params();
+  params.horizon = 12 * kMsec;  // too short for the ~30ms chain
+  SimulationDriver driver(*application, sched, params);
+  driver.load_arrivals({{kMsec, RequestTypeId(0)}});
+  const RunResult result = driver.run();
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_EQ(result.unfinished, 1u);
+  EXPECT_DOUBLE_EQ(result.qos_violation_rate, 1.0);
+}
+
+TEST(Driver, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto application = make_chain_app();
+    ScriptedScheduler sched;
+    SimulationDriver driver(*application, sched, small_params());
+    driver.load_arrivals({{10 * kMsec, RequestTypeId(0)}, {15 * kMsec, RequestTypeId(0)}});
+    return driver.run();
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.p50_latency_us, b.p50_latency_us);
+  EXPECT_DOUBLE_EQ(a.mean_utilization, b.mean_utilization);
+}
+
+TEST(Driver, PlacementValidation) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  EXPECT_THROW(driver.place(RequestId(99), 0, MachineId(0), {1, 1, 1}, 0, kMsec),
+               InvariantError);
+}
+
+TEST(Driver, ArrivalOutsideHorizonThrows) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  EXPECT_THROW(driver.load_arrivals({{10 * kSec, RequestTypeId(0)}}), InvariantError);
+}
+
+TEST(Driver, RunTwiceThrows) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  driver.run();
+  EXPECT_THROW(driver.run(), InvariantError);
+}
+
+TEST(Driver, ExpectedCommMatchesDistanceOrdering) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  const SimDuration same = driver.expected_comm(MachineId(0), MachineId(0));
+  const SimDuration rack = driver.expected_comm(MachineId(0), MachineId(1));
+  const SimDuration cross = driver.expected_comm(MachineId(0), MachineId(3));
+  EXPECT_LT(same, rack);
+  EXPECT_LT(rack, cross);
+  EXPECT_GT(driver.expected_ingress(), 0);
+}
+
+TEST(Driver, MonitorSampledDuringRun) {
+  auto application = make_chain_app();
+  ScriptedScheduler sched;
+  SimulationDriver driver(*application, sched, small_params());
+  driver.load_arrivals({{10 * kMsec, RequestTypeId(0)}});
+  driver.run();
+  // 5s horizon, 100ms period -> ~50 samples.
+  EXPECT_GE(driver.cluster_monitor().sample_count(), 45u);
+  EXPECT_GE(driver.cluster_monitor().mean_overall(), 0.0);
+  EXPECT_LE(driver.cluster_monitor().mean_overall(), 1.0);
+}
+
+}  // namespace
+}  // namespace vmlp::sched

@@ -1,0 +1,210 @@
+// Discrete-event engine: ordering, cancellation, periodics, horizons.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "sim/engine.h"
+
+namespace vmlp::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, EqualTimesFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(10, [] {});
+  e.run_all();
+  EXPECT_THROW(e.schedule_at(5, [] {}), InvariantError);
+  EXPECT_THROW(e.schedule_after(-1, [] {}), InvariantError);
+}
+
+TEST(Engine, NullCallbackThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1, nullptr), InvariantError);
+}
+
+TEST(Engine, ScheduleAfterUsesNow) {
+  Engine e;
+  SimTime fired_at = -1;
+  e.schedule_at(10, [&] {
+    e.schedule_after(5, [&] { fired_at = e.now(); });
+  });
+  e.run_all();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  auto h = e.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(e.pending(h));
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.pending(h));
+  e.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine e;
+  auto h = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(h));
+}
+
+TEST(Engine, CancelInvalidHandle) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(EventHandle{}));
+  EXPECT_FALSE(e.cancel(EventHandle{999}));
+}
+
+TEST(Engine, CancelAfterFiringReturnsFalse) {
+  Engine e;
+  auto h = e.schedule_at(10, [] {});
+  e.run_all();
+  EXPECT_FALSE(e.cancel(h));
+}
+
+TEST(Engine, EventsScheduledDuringExecution) {
+  Engine e;
+  std::vector<SimTime> times;
+  e.schedule_at(10, [&] {
+    times.push_back(e.now());
+    e.schedule_at(20, [&] { times.push_back(e.now()); });
+  });
+  e.run_all();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(100, [&] { ++fired; });
+  e.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 50);
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run_until(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 200);
+}
+
+TEST(Engine, RunUntilWithEmptyQueueAdvancesTime) {
+  Engine e;
+  e.run_until(42);
+  EXPECT_EQ(e.now(), 42);
+}
+
+TEST(Engine, RunUntilBackwardsThrows) {
+  Engine e;
+  e.run_until(10);
+  EXPECT_THROW(e.run_until(5), InvariantError);
+}
+
+TEST(Engine, EventAtHorizonBoundaryFires) {
+  Engine e;
+  bool ran = false;
+  e.schedule_at(50, [&] { ran = true; });
+  e.run_until(50);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, StepExecutesOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1, [&] { ++fired; });
+  e.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, PeriodicFiresRepeatedly) {
+  Engine e;
+  std::vector<SimTime> times;
+  e.schedule_periodic(10, 10, [&] { times.push_back(e.now()); });
+  e.run_until(45);
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(Engine, PeriodicCancelStopsSeries) {
+  Engine e;
+  int fired = 0;
+  auto h = e.schedule_periodic(10, 10, [&] { ++fired; });
+  e.run_until(25);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(e.cancel(h));
+  e.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, PeriodicCanCancelItself) {
+  Engine e;
+  int fired = 0;
+  EventHandle h;
+  h = e.schedule_periodic(10, 10, [&] {
+    ++fired;
+    if (fired == 3) e.cancel(h);
+  });
+  e.run_until(1000);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, PeriodicBadParamsThrow) {
+  Engine e;
+  EXPECT_THROW(e.schedule_periodic(0, 0, [] {}), InvariantError);
+  EXPECT_THROW(e.schedule_periodic(0, 10, nullptr), InvariantError);
+}
+
+TEST(Engine, ExecutedEventCount) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  e.run_all();
+  EXPECT_EQ(e.executed_events(), 5u);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    e.schedule_at((i * 7919) % 1000, [&] {
+      if (e.now() < last) monotone = false;
+      last = e.now();
+    });
+  }
+  e.run_all();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(e.executed_events(), 10000u);
+}
+
+}  // namespace
+}  // namespace vmlp::sim

@@ -1,0 +1,250 @@
+// Extension subsystems: P² streaming quantiles, trace export, arrival-trace
+// replay, and background-interference injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "loadgen/replay.h"
+#include "mlp/vmlp.h"
+#include "sched/driver.h"
+#include "stats/p2_quantile.h"
+#include "stats/percentile.h"
+#include "trace/export.h"
+#include "workloads/suite.h"
+
+namespace vmlp {
+namespace {
+
+// ---- P² quantile ------------------------------------------------------
+
+TEST(P2Quantile, EmptyIsNan) {
+  stats::P2Quantile p2(0.5);
+  EXPECT_TRUE(std::isnan(p2.value()));
+}
+
+TEST(P2Quantile, ExactForFewSamples) {
+  stats::P2Quantile p2(0.5);
+  p2.add(3.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 3.0);
+  p2.add(1.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 2.0);  // median of {1,3}
+  p2.add(2.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 2.0);
+}
+
+TEST(P2Quantile, RejectsDegenerateQ) {
+  EXPECT_THROW(stats::P2Quantile(0.0), InvariantError);
+  EXPECT_THROW(stats::P2Quantile(1.0), InvariantError);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksUniformDistribution) {
+  const double q = GetParam();
+  stats::P2Quantile p2(q);
+  stats::SampleSet exact;
+  Rng rng(101);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    p2.add(x);
+    exact.add(x);
+  }
+  EXPECT_NEAR(p2.value(), exact.quantile(q), 1.5) << "q=" << q;
+}
+
+TEST_P(P2Accuracy, TracksLognormalDistribution) {
+  const double q = GetParam();
+  stats::P2Quantile p2(q);
+  stats::SampleSet exact;
+  Rng rng(102);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal_mean_cv(50.0, 0.5);
+    p2.add(x);
+    exact.add(x);
+  }
+  // Heavy-tailed: allow 5% relative error.
+  EXPECT_NEAR(p2.value(), exact.quantile(q), exact.quantile(q) * 0.05) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy, ::testing::Values(0.1, 0.5, 0.9, 0.99),
+                         [](const auto& info) {
+                           return "q" + std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+TEST(P2Quantile, MonotoneUnderSortedInput) {
+  stats::P2Quantile p2(0.9);
+  for (int i = 1; i <= 1000; ++i) p2.add(static_cast<double>(i));
+  EXPECT_NEAR(p2.value(), 900.0, 20.0);
+}
+
+// ---- trace export ------------------------------------------------------
+
+TEST(Export, JsonEscaping) {
+  EXPECT_EQ(trace::json_escape("plain"), "plain");
+  EXPECT_EQ(trace::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(trace::json_escape("x\ny"), "x\\ny");
+  EXPECT_EQ(trace::json_escape(std::string("z\x01")), "z\\u0001");
+}
+
+TEST(Export, SpansJsonShape) {
+  auto application = workloads::make_benchmark_suite();
+  trace::Tracer tracer;
+  tracer.on_request_arrival(RequestId(7), RequestTypeId(0), 100);
+  tracer.record_span(trace::Span{RequestId(7), RequestTypeId(0), ServiceTypeId(0), InstanceId(1),
+                                 MachineId(3), 1000, 5000});
+  std::ostringstream os;
+  trace::export_spans_json(tracer, *application, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("\"traceId\":\"7\""), std::string::npos);
+  EXPECT_NE(out.find("\"timestamp\":1000"), std::string::npos);
+  EXPECT_NE(out.find("\"duration\":4000"), std::string::npos);
+  EXPECT_NE(out.find("\"serviceName\":\"nginx\""), std::string::npos);
+  EXPECT_NE(out.find("\"requestType\":\"compose-post\""), std::string::npos);
+}
+
+TEST(Export, EmptyTracerGivesEmptyArray) {
+  auto application = workloads::make_benchmark_suite();
+  trace::Tracer tracer;
+  std::ostringstream os;
+  trace::export_spans_json(tracer, *application, os);
+  EXPECT_EQ(os.str(), "[\n]\n");
+}
+
+TEST(Export, RequestsCsv) {
+  auto application = workloads::make_benchmark_suite();
+  trace::Tracer tracer;
+  tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 100);
+  tracer.on_request_arrival(RequestId(2), RequestTypeId(1), 200);
+  tracer.on_request_completion(RequestId(1), 600);
+  std::ostringstream os;
+  trace::export_requests_csv(tracer, *application, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("request_id,type,arrival_us,completion_us,latency_us"), std::string::npos);
+  EXPECT_NE(out.find("1,compose-post,100,600,500"), std::string::npos);
+  EXPECT_NE(out.find("2,read-home-timeline,200,,"), std::string::npos);  // unfinished
+}
+
+TEST(Export, FileErrorsThrow) {
+  auto application = workloads::make_benchmark_suite();
+  trace::Tracer tracer;
+  EXPECT_THROW(trace::export_spans_json_file(tracer, *application, "/nonexistent/dir/x.json"),
+               ConfigError);
+}
+
+// ---- arrival replay ----------------------------------------------------
+
+TEST(Replay, RoundTrip) {
+  auto application = workloads::make_benchmark_suite();
+  std::vector<loadgen::Arrival> arrivals{
+      {100, RequestTypeId(0)}, {500, RequestTypeId(3)}, {200, RequestTypeId(1)}};
+  std::ostringstream os;
+  loadgen::save_arrivals_csv(arrivals, *application, os);
+  std::istringstream is(os.str());
+  const auto loaded = loadgen::load_arrivals_csv(*application, is);
+  ASSERT_EQ(loaded.size(), 3u);
+  // Sorted on load.
+  EXPECT_EQ(loaded[0].time, 100);
+  EXPECT_EQ(loaded[1].time, 200);
+  EXPECT_EQ(loaded[2].time, 500);
+  EXPECT_EQ(loaded[0].type, RequestTypeId(0));
+  EXPECT_EQ(loaded[1].type, RequestTypeId(1));
+  EXPECT_EQ(loaded[2].type, RequestTypeId(3));
+}
+
+TEST(Replay, RejectsMalformedRows) {
+  auto application = workloads::make_benchmark_suite();
+  {
+    std::istringstream is("time_us,request_type\nnocomma\n");
+    EXPECT_THROW(loadgen::load_arrivals_csv(*application, is), ConfigError);
+  }
+  {
+    std::istringstream is("time_us,request_type\nabc,compose-post\n");
+    EXPECT_THROW(loadgen::load_arrivals_csv(*application, is), ConfigError);
+  }
+  {
+    std::istringstream is("time_us,request_type\n100,not-a-request\n");
+    EXPECT_THROW(loadgen::load_arrivals_csv(*application, is), ConfigError);
+  }
+  {
+    std::istringstream is("time_us,request_type\n-5,compose-post\n");
+    EXPECT_THROW(loadgen::load_arrivals_csv(*application, is), ConfigError);
+  }
+}
+
+TEST(Replay, MissingFileThrows) {
+  auto application = workloads::make_benchmark_suite();
+  EXPECT_THROW(loadgen::load_arrivals_csv_file(*application, "/nonexistent/trace.csv"),
+               ConfigError);
+}
+
+// ---- interference injection ---------------------------------------------
+
+TEST(Interference, BurstsInjectedAndCleaned) {
+  auto application = workloads::make_benchmark_suite();
+  mlp::VmlpScheduler scheduler;
+  sched::DriverParams params;
+  params.horizon = 10 * kSec;
+  params.cluster.machine_count = 8;
+  params.machines_per_rack = 4;
+  params.seed = 44;
+  params.interference.enabled = true;
+  params.interference.events_per_second = 5.0;
+  sched::SimulationDriver driver(*application, scheduler, params);
+  const auto result = driver.run();  // no requests: pure interference churn
+  (void)result;
+  EXPECT_GT(driver.counters().interference_bursts, 20u);
+  // All bursts expire eventually... those still alive at the horizon remain,
+  // but none should exceed one per machine by a large factor.
+  std::size_t residual = 0;
+  for (const auto& m : driver.cluster().machines()) residual += m.container_count();
+  EXPECT_LE(residual, driver.counters().interference_bursts);
+}
+
+TEST(Interference, DisturbsLatency) {
+  auto run_with = [](bool interference) {
+    auto application = workloads::make_benchmark_suite();
+    mlp::VmlpScheduler scheduler;
+    sched::DriverParams params;
+    params.horizon = 10 * kSec;
+    params.cluster.machine_count = 6;
+    params.machines_per_rack = 3;
+    params.seed = 45;
+    params.interference.enabled = interference;
+    params.interference.events_per_second = 10.0;
+    params.interference.magnitude = 0.7;
+    params.interference.duration_mean = kSec;
+    sched::SimulationDriver driver(*application, scheduler, params);
+    std::vector<loadgen::Arrival> arrivals;
+    const auto compose = *application->find_request("compose-post");
+    for (int i = 0; i < 200; ++i) arrivals.push_back({kMsec + i * 40 * kMsec, compose});
+    driver.load_arrivals(arrivals);
+    return driver.run();
+  };
+  const auto calm = run_with(false);
+  const auto noisy = run_with(true);
+  EXPECT_GT(noisy.p99_latency_us, calm.p99_latency_us);
+}
+
+TEST(Interference, DeterministicPerSeed) {
+  auto run_once = [] {
+    auto application = workloads::make_benchmark_suite();
+    mlp::VmlpScheduler scheduler;
+    sched::DriverParams params;
+    params.horizon = 5 * kSec;
+    params.cluster.machine_count = 4;
+    params.machines_per_rack = 2;
+    params.seed = 46;
+    params.interference.enabled = true;
+    sched::SimulationDriver driver(*application, scheduler, params);
+    driver.run();
+    return driver.counters().interference_bursts;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace vmlp

@@ -1,0 +1,225 @@
+// Workload patterns (Fig. 9) and arrival generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "loadgen/generator.h"
+#include "loadgen/patterns.h"
+#include "workloads/suite.h"
+
+namespace vmlp::loadgen {
+namespace {
+
+PatternParams default_params() { return PatternParams{}; }
+
+class PatternsTest : public ::testing::TestWithParam<PatternKind> {};
+
+TEST_P(PatternsTest, RateBoundedByMax) {
+  const auto pattern = WorkloadPattern::make(GetParam(), default_params(), 123);
+  for (SimTime t = 0; t < pattern.params().horizon; t += 100 * kMsec) {
+    const double r = pattern.rate_at(t);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, pattern.params().max_rate + 1e-9);
+  }
+}
+
+TEST_P(PatternsTest, ZeroOutsideHorizon) {
+  const auto pattern = WorkloadPattern::make(GetParam(), default_params(), 123);
+  EXPECT_DOUBLE_EQ(pattern.rate_at(-1), 0.0);
+  EXPECT_DOUBLE_EQ(pattern.rate_at(pattern.params().horizon), 0.0);
+}
+
+TEST_P(PatternsTest, PeakNearPeakTime) {
+  // All patterns stress the cluster around t = 40 s (Fig. 11's peak instant).
+  const auto pattern = WorkloadPattern::make(GetParam(), default_params(), 123);
+  const double at_peak = pattern.rate_at(default_params().peak_time);
+  EXPECT_GT(at_peak, 0.85 * default_params().max_rate);
+}
+
+TEST_P(PatternsTest, ExpectedArrivalsPositiveAndBounded) {
+  const auto pattern = WorkloadPattern::make(GetParam(), default_params(), 123);
+  const double expected = pattern.expected_arrivals();
+  EXPECT_GT(expected, 0.0);
+  // Can't exceed max_rate * horizon_seconds.
+  EXPECT_LT(expected, default_params().max_rate * 100.0);
+}
+
+TEST_P(PatternsTest, RateSeriesLength) {
+  const auto pattern = WorkloadPattern::make(GetParam(), default_params(), 123);
+  EXPECT_EQ(pattern.rate_series(kSec).size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternsTest,
+                         ::testing::Values(PatternKind::kL1Pulse, PatternKind::kL2Fluctuating,
+                                           PatternKind::kL3Periodic),
+                         [](const auto& info) { return pattern_name(info.param); });
+
+TEST(Patterns, L1IsFlatOutsidePulse) {
+  const auto p = WorkloadPattern::make(PatternKind::kL1Pulse, default_params(), 1);
+  EXPECT_DOUBLE_EQ(p.rate_at(10 * kSec), default_params().base_rate);
+  EXPECT_DOUBLE_EQ(p.rate_at(80 * kSec), default_params().base_rate);
+}
+
+TEST(Patterns, L2FluctuatesAndIsSeeded) {
+  const auto a = WorkloadPattern::make(PatternKind::kL2Fluctuating, default_params(), 1);
+  const auto b = WorkloadPattern::make(PatternKind::kL2Fluctuating, default_params(), 1);
+  const auto c = WorkloadPattern::make(PatternKind::kL2Fluctuating, default_params(), 2);
+  int diffs_ab = 0, diffs_ac = 0;
+  double lo = 1e18, hi = 0.0;
+  for (SimTime t = 0; t < 100 * kSec; t += kSec) {
+    diffs_ab += a.rate_at(t) != b.rate_at(t) ? 1 : 0;
+    diffs_ac += a.rate_at(t) != c.rate_at(t) ? 1 : 0;
+    lo = std::min(lo, a.rate_at(t));
+    hi = std::max(hi, a.rate_at(t));
+  }
+  EXPECT_EQ(diffs_ab, 0);
+  EXPECT_GT(diffs_ac, 10);
+  EXPECT_GT(hi - lo, 300.0);  // genuinely fluctuating
+}
+
+TEST(Patterns, L3IsPeriodic) {
+  const auto p = WorkloadPattern::make(PatternKind::kL3Periodic, default_params(), 1);
+  const SimDuration period = default_params().period;
+  // Plateau levels recur one period apart.
+  const double v1 = p.rate_at(40 * kSec);
+  const double v2 = p.rate_at(40 * kSec - period);
+  EXPECT_NEAR(v1, v2, 1e-9);
+  // Wide peaks: a plateau wider than half the pattern's plateau parameter.
+  int high = 0;
+  for (SimTime t = 0; t < 100 * kSec; t += 500 * kMsec) {
+    if (p.rate_at(t) > 0.9 * default_params().max_rate) ++high;
+  }
+  EXPECT_GE(high, 40);  // >= 20 s total plateau across the horizon
+}
+
+TEST(Patterns, Names) {
+  EXPECT_STREQ(pattern_name(PatternKind::kL1Pulse), "L1");
+  EXPECT_STREQ(pattern_name(PatternKind::kL3Periodic), "L3");
+}
+
+TEST(Patterns, BadParamsThrow) {
+  PatternParams p;
+  p.peak_time = p.horizon + kSec;
+  EXPECT_THROW(WorkloadPattern::make(PatternKind::kL1Pulse, p, 1), InvariantError);
+  p = {};
+  p.base_rate = p.max_rate + 1;
+  EXPECT_THROW(WorkloadPattern::make(PatternKind::kL1Pulse, p, 1), InvariantError);
+}
+
+class MixTest : public ::testing::Test {
+ protected:
+  MixTest() { suite_ = workloads::make_benchmark_suite(&ids_); }
+  std::unique_ptr<app::Application> suite_;
+  workloads::SuiteIds ids_;
+};
+
+TEST_F(MixTest, CategoryMixesUseEqualShares) {
+  const auto high = RequestMix::category(*suite_, app::VolatilityBand::kHigh);
+  ASSERT_EQ(high.entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(high.entries()[0].weight, high.entries()[1].weight);
+
+  const auto mid = RequestMix::category(*suite_, app::VolatilityBand::kMid);
+  EXPECT_EQ(mid.entries().size(), 1u);
+}
+
+TEST_F(MixTest, AllMixCoversEveryType) {
+  const auto mix = RequestMix::all(*suite_);
+  EXPECT_EQ(mix.entries().size(), 5u);
+}
+
+TEST_F(MixTest, HighRatioShares) {
+  const auto mix = RequestMix::with_high_ratio(*suite_, 0.8);
+  double high_weight = 0.0, rest_weight = 0.0;
+  for (const auto& e : mix.entries()) {
+    if (suite_->band(e.type) == app::VolatilityBand::kHigh) {
+      high_weight += e.weight;
+    } else {
+      rest_weight += e.weight;
+    }
+  }
+  EXPECT_NEAR(high_weight, 0.8, 1e-12);
+  EXPECT_NEAR(rest_weight, 0.2, 1e-12);
+}
+
+TEST_F(MixTest, HighRatioValidation) {
+  EXPECT_THROW(RequestMix::with_high_ratio(*suite_, 1.5), InvariantError);
+}
+
+TEST_F(MixTest, SampleFollowsWeights) {
+  RequestMix mix;
+  mix.add(RequestTypeId(0), 0.9);
+  mix.add(RequestTypeId(1), 0.1);
+  Rng rng(5);
+  int zero = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (mix.sample(rng) == RequestTypeId(0)) ++zero;
+  }
+  EXPECT_NEAR(zero / 10000.0, 0.9, 0.02);
+}
+
+TEST_F(MixTest, EmptyMixThrows) {
+  RequestMix mix;
+  Rng rng(1);
+  EXPECT_THROW(mix.sample(rng), InvariantError);
+}
+
+TEST_F(MixTest, ArrivalsSortedWithinHorizon) {
+  const auto pattern = WorkloadPattern::make(PatternKind::kL1Pulse, default_params(), 9);
+  Rng rng(5);
+  const auto arrivals = generate_arrivals(pattern, RequestMix::all(*suite_), rng, 0.2);
+  ASSERT_GT(arrivals.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end(),
+                             [](const Arrival& a, const Arrival& b) { return a.time < b.time; }));
+  for (const auto& a : arrivals) {
+    EXPECT_GE(a.time, 0);
+    EXPECT_LT(a.time, default_params().horizon);
+    EXPECT_TRUE(a.type.valid());
+  }
+}
+
+TEST_F(MixTest, ArrivalCountTracksExpectation) {
+  const auto pattern = WorkloadPattern::make(PatternKind::kL1Pulse, default_params(), 9);
+  Rng rng(5);
+  const auto arrivals = generate_arrivals(pattern, RequestMix::all(*suite_), rng, 0.5);
+  const double expected = pattern.expected_arrivals() * 0.5;
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), expected, expected * 0.1);
+}
+
+TEST_F(MixTest, QpsScaleScalesCount) {
+  const auto pattern = WorkloadPattern::make(PatternKind::kL1Pulse, default_params(), 9);
+  Rng rng1(5), rng2(5);
+  const auto a = generate_arrivals(pattern, RequestMix::all(*suite_), rng1, 0.2);
+  const auto b = generate_arrivals(pattern, RequestMix::all(*suite_), rng2, 0.4);
+  EXPECT_NEAR(static_cast<double>(b.size()) / static_cast<double>(a.size()), 2.0, 0.2);
+}
+
+TEST_F(MixTest, ArrivalsConcentrateAtPeak) {
+  PatternParams pp = default_params();
+  const auto pattern = WorkloadPattern::make(PatternKind::kL1Pulse, pp, 9);
+  Rng rng(5);
+  const auto arrivals = generate_arrivals(pattern, RequestMix::all(*suite_), rng, 1.0);
+  // Arrival density in the pulse second vs. a quiet second.
+  std::size_t peak = 0, quiet = 0;
+  for (const auto& a : arrivals) {
+    if (a.time >= 39500 * kMsec && a.time < 40500 * kMsec) ++peak;
+    if (a.time >= 9500 * kMsec && a.time < 10500 * kMsec) ++quiet;
+  }
+  EXPECT_GT(peak, quiet * 2);
+}
+
+TEST_F(MixTest, GeneratorDeterministic) {
+  const auto pattern = WorkloadPattern::make(PatternKind::kL2Fluctuating, default_params(), 9);
+  Rng rng1(5), rng2(5);
+  const auto a = generate_arrivals(pattern, RequestMix::all(*suite_), rng1, 0.3);
+  const auto b = generate_arrivals(pattern, RequestMix::all(*suite_), rng2, 0.3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+}  // namespace
+}  // namespace vmlp::loadgen

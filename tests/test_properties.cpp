@@ -1,0 +1,126 @@
+// System-wide invariants, parameterized over (scheme × workload pattern):
+// conservation of requests, span causality within the horizon, bounded
+// utilization, clean teardown. These hold for every scheduling policy.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/experiment.h"
+#include "loadgen/generator.h"
+#include "sched/driver.h"
+#include "workloads/suite.h"
+
+namespace vmlp::exp {
+namespace {
+
+using PropertyParam = std::tuple<SchemeKind, loadgen::PatternKind>;
+
+class SchedulingInvariants : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  static ExperimentConfig config() {
+    ExperimentConfig c;
+    c.scheme = std::get<0>(GetParam());
+    c.pattern = std::get<1>(GetParam());
+    c.stream = StreamKind::kMixed;
+    c.seed = 17;
+    c.driver.horizon = 8 * kSec;
+    c.driver.cluster.machine_count = 8;
+    c.pattern_params.base_rate = 20.0;
+    c.pattern_params.max_rate = 60.0;
+    c.pattern_params.peak_time = 4 * kSec;
+    return c;
+  }
+};
+
+TEST_P(SchedulingInvariants, RequestConservationAndBounds) {
+  auto application = workloads::make_benchmark_suite();
+  auto scheduler = make_scheduler(std::get<0>(GetParam()), {}, 17);
+  const ExperimentConfig c = config();
+  sched::DriverParams dp = c.driver;
+  dp.seed = c.seed;
+  loadgen::PatternParams pp = c.pattern_params;
+  pp.horizon = dp.horizon;
+  const auto pattern = loadgen::WorkloadPattern::make(c.pattern, pp, 5);
+  Rng rng(5);
+  const auto arrivals =
+      loadgen::generate_arrivals(pattern, loadgen::RequestMix::all(*application), rng);
+
+  sched::SimulationDriver driver(*application, *scheduler, dp);
+  driver.load_arrivals(arrivals);
+  const sched::RunResult result = driver.run();
+
+  // Conservation: every arrival either completed or is accounted unfinished.
+  EXPECT_EQ(result.arrived, arrivals.size());
+  EXPECT_EQ(result.arrived, result.completed + result.unfinished);
+
+  // Latency quantile ordering.
+  if (result.completed > 0) {
+    EXPECT_LE(result.p50_latency_us, result.p90_latency_us);
+    EXPECT_LE(result.p90_latency_us, result.p99_latency_us);
+    EXPECT_GT(result.p50_latency_us, 0.0);
+  }
+
+  // Utilization bounded.
+  EXPECT_GE(result.mean_utilization, 0.0);
+  EXPECT_LE(result.mean_utilization, 1.0);
+
+  // Spans: within horizon, positive durations, causality per request DAG.
+  for (const auto& span : driver.tracer().spans()) {
+    EXPECT_GE(span.start, 0);
+    EXPECT_LE(span.end, dp.horizon);
+    EXPECT_GE(span.duration(), 0);
+    EXPECT_TRUE(span.machine.valid());
+    EXPECT_LT(span.machine.value(), dp.cluster.machine_count);
+  }
+  for (const auto* rec : driver.tracer().requests()) {
+    const auto& rt = application->request(rec->type);
+    const auto spans = driver.tracer().spans_of(rec->id);
+    EXPECT_LE(spans.size(), rt.size());
+    if (rec->finished()) {
+      EXPECT_EQ(spans.size(), rt.size());
+      // End-to-end latency covers the last span.
+      for (const auto* s : spans) {
+        EXPECT_LE(s->end, *rec->completion);
+        EXPECT_GE(s->start, rec->arrival);
+      }
+    }
+  }
+
+  // Teardown: no containers and no residual future reservations.
+  for (const auto& m : driver.cluster().machines()) {
+    if (result.unfinished == 0) {
+      EXPECT_EQ(m.container_count(), 0u);
+      EXPECT_EQ(m.ledger().usage_at(dp.horizon + 100 * kSec), cluster::ResourceVector::zero());
+    }
+  }
+
+  // Monitor ran for the whole horizon.
+  EXPECT_GE(driver.cluster_monitor().sample_count(), 70u);
+}
+
+TEST_P(SchedulingInvariants, CompletionRateReasonableAtModerateLoad) {
+  const auto result = run_experiment(config());
+  EXPECT_GT(static_cast<double>(result.run.completed),
+            0.85 * static_cast<double>(result.run.arrived));
+}
+
+std::string param_name(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string s = scheme_name(std::get<0>(info.param));
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s + "_" + loadgen::pattern_name(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllPatterns, SchedulingInvariants,
+    ::testing::Combine(::testing::Values(SchemeKind::kFairSched, SchemeKind::kCurSched,
+                                         SchemeKind::kPartProfile, SchemeKind::kFullProfile,
+                                         SchemeKind::kVmlp),
+                       ::testing::Values(loadgen::PatternKind::kL1Pulse,
+                                         loadgen::PatternKind::kL2Fluctuating,
+                                         loadgen::PatternKind::kL3Periodic)),
+    param_name);
+
+}  // namespace
+}  // namespace vmlp::exp

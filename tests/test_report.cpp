@@ -1,0 +1,93 @@
+// Result-table rendering and format helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "exp/report.h"
+
+namespace vmlp::exp {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Column start positions align: "value" column begins at the same offset
+  // in header and rows.
+  std::istringstream lines(out);
+  std::string header, sep, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find("value"), row1.find('1'));
+  EXPECT_EQ(header.find("value"), row2.find("22"));
+}
+
+TEST(Table, RowAritxValidation) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), InvariantError);
+  EXPECT_THROW(Table({}), InvariantError);
+}
+
+TEST(Table, RowsCounted) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Format, Doubles) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.5), "50.0%");
+  EXPECT_EQ(fmt_percent(0.123, 2), "12.30%");
+}
+
+TEST(Format, Milliseconds) {
+  EXPECT_EQ(fmt_ms(1500.0), "1.50ms");
+  EXPECT_EQ(fmt_ms(1000000.0, 0), "1000ms");
+}
+
+TEST(Normalize, RegularAndDegenerate) {
+  EXPECT_DOUBLE_EQ(normalize(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(normalize(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(normalize(5.0, 0.0), 999.0);
+}
+
+TEST(AsciiSeries, ScalesToMax) {
+  const std::string s = ascii_series({0.0, 0.5, 1.0}, 3);
+  EXPECT_EQ(s.find("█"), s.size() - std::string("█").size());
+}
+
+TEST(AsciiSeries, EmptyAndDownsampling) {
+  EXPECT_TRUE(ascii_series({}, 10).empty());
+  const std::string s = ascii_series(std::vector<double>(100, 1.0), 10);
+  // 10 glyphs of 3 bytes (UTF-8 blocks).
+  EXPECT_EQ(s.size(), 30u);
+}
+
+TEST(AsciiSeries, AllZeros) {
+  const std::string s = ascii_series({0.0, 0.0}, 2);
+  EXPECT_EQ(s, "  ");
+}
+
+TEST(Section, PrintsTitle) {
+  std::ostringstream os;
+  print_section("Fig. 10", os);
+  EXPECT_NE(os.str().find("=== Fig. 10 ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmlp::exp

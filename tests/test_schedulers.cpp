@@ -1,0 +1,135 @@
+// Baseline scheduler policies (Table VI): each runs a small stream to
+// completion; policy-specific behaviours are asserted where observable.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "loadgen/generator.h"
+#include "sched/common.h"
+#include "sched/cur_sched.h"
+#include "sched/driver.h"
+#include "sched/fair_sched.h"
+#include "sched/full_profile.h"
+#include "sched/part_profile.h"
+#include "workloads/suite.h"
+
+namespace vmlp::sched {
+namespace {
+
+DriverParams test_params() {
+  DriverParams p;
+  p.horizon = 10 * kSec;
+  p.cluster.machine_count = 10;
+  p.machines_per_rack = 5;
+  p.seed = 77;
+  return p;
+}
+
+std::vector<loadgen::Arrival> small_stream(const app::Application& application, double qps,
+                                           SimTime horizon) {
+  loadgen::PatternParams pp;
+  pp.horizon = horizon;
+  pp.base_rate = qps;
+  pp.max_rate = qps * 4;
+  pp.peak_time = horizon / 2;
+  const auto pattern = loadgen::WorkloadPattern::make(loadgen::PatternKind::kL1Pulse, pp, 3);
+  Rng rng(3);
+  return loadgen::generate_arrivals(pattern, loadgen::RequestMix::all(application), rng);
+}
+
+template <typename Scheduler>
+RunResult run_baseline(Scheduler& sched) {
+  auto application = workloads::make_benchmark_suite();
+  SimulationDriver driver(*application, sched, test_params());
+  driver.load_arrivals(small_stream(*application, 12.0, test_params().horizon));
+  return driver.run();
+}
+
+TEST(FairSched, CompletesStream) {
+  FairSched sched;
+  const RunResult r = run_baseline(sched);
+  EXPECT_GT(r.arrived, 100u);
+  EXPECT_GT(static_cast<double>(r.completed), 0.95 * static_cast<double>(r.arrived));
+  EXPECT_EQ(sched.name(), "FairSched");
+}
+
+TEST(CurSched, CompletesStream) {
+  CurSched sched;
+  const RunResult r = run_baseline(sched);
+  EXPECT_GT(static_cast<double>(r.completed), 0.95 * static_cast<double>(r.arrived));
+  EXPECT_EQ(sched.name(), "CurSched");
+}
+
+TEST(PartProfile, CompletesStream) {
+  PartProfile sched;
+  const RunResult r = run_baseline(sched);
+  EXPECT_GT(static_cast<double>(r.completed), 0.95 * static_cast<double>(r.arrived));
+  EXPECT_EQ(sched.name(), "PartProfile");
+}
+
+TEST(FullProfile, CompletesStream) {
+  FullProfile sched;
+  const RunResult r = run_baseline(sched);
+  EXPECT_GT(static_cast<double>(r.completed), 0.9 * static_cast<double>(r.arrived));
+  EXPECT_EQ(sched.name(), "FullProfile");
+}
+
+TEST(SchedCommon, MachineFewestContainers) {
+  cluster::ClusterParams cp;
+  cp.machine_count = 3;
+  cluster::Cluster clustr(cp);
+  clustr.machine(MachineId(0)).add_container(ContainerId(0), InstanceId(0), {1, 1, 1}, {1, 1, 1});
+  clustr.machine(MachineId(1)).add_container(ContainerId(1), InstanceId(1), {1, 1, 1}, {1, 1, 1});
+  EXPECT_EQ(machine_fewest_containers(clustr), MachineId(2));
+}
+
+TEST(SchedCommon, MachineLowestUtilization) {
+  cluster::ClusterParams cp;
+  cp.machine_count = 2;
+  cp.machine_capacity = {1000, 1000, 1000};
+  cluster::Cluster clustr(cp);
+  clustr.machine(MachineId(0)).add_container(ContainerId(0), InstanceId(0), {500, 0, 0},
+                                             {500, 0, 0});
+  EXPECT_EQ(machine_lowest_utilization(clustr), MachineId(1));
+}
+
+TEST(SchedCommon, FirstFitSkipsBusyMachines) {
+  cluster::ClusterParams cp;
+  cp.machine_count = 3;
+  cp.machine_capacity = {1000, 1000, 1000};
+  cluster::Cluster clustr(cp);
+  clustr.machine(MachineId(0)).ledger().reserve(0, 1000, {900, 0, 0});
+  clustr.machine(MachineId(1)).ledger().reserve(0, 1000, {900, 0, 0});
+  EXPECT_EQ(machine_first_fit(clustr, 0, 500, {200, 0, 0}), MachineId(2));
+  EXPECT_FALSE(machine_first_fit(clustr, 0, 500, {2000, 0, 0}).valid());
+}
+
+TEST(SchedCommon, BestFitPrefersSpareCapacity) {
+  cluster::ClusterParams cp;
+  cp.machine_count = 2;
+  cp.machine_capacity = {1000, 1000, 1000};
+  cluster::Cluster clustr(cp);
+  clustr.machine(MachineId(0)).ledger().reserve(0, 1000, {600, 0, 0});
+  EXPECT_EQ(machine_best_fit(clustr, 0, 500, {100, 0, 0}), MachineId(1));
+}
+
+TEST(Baselines, FairSchedDegradesUnderLoadMoreThanPartProfile) {
+  // Crank the load: contention-blind fair sharing must violate more than
+  // profile-based admission (the Fig. 10 ordering between scheme families).
+  auto run_scheme = [](IScheduler& sched) {
+    auto application = workloads::make_benchmark_suite();
+    DriverParams p = test_params();
+    p.cluster.machine_count = 6;
+    SimulationDriver driver(*application, sched, p);
+    driver.load_arrivals(small_stream(*application, 50.0, p.horizon));
+    return driver.run();
+  };
+  FairSched fair;
+  PartProfile part;
+  const RunResult fair_result = run_scheme(fair);
+  const RunResult part_result = run_scheme(part);
+  EXPECT_GT(fair_result.p99_latency_us, part_result.p99_latency_us);
+}
+
+}  // namespace
+}  // namespace vmlp::sched

@@ -1,0 +1,278 @@
+// Statistics substrate: Welford summaries, quantiles, histograms, series, QoS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/histogram.h"
+#include "stats/percentile.h"
+#include "stats/qos.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace vmlp::stats {
+namespace {
+
+TEST(Summary, EmptyIsNan) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Summary, SampleVarianceUsesNMinusOne) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_TRUE(std::isnan(s.sample_variance()));
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, b;
+  a.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Summary, CvOfConstantIsZero) {
+  Summary s;
+  s.add(4.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(SampleSet, QuantileInterpolation) {
+  SampleSet s;
+  s.add_all({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 7.0);
+}
+
+TEST(SampleSet, EmptyQuantileThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), InvariantError);
+  EXPECT_THROW(s.mean(), InvariantError);
+}
+
+TEST(SampleSet, OutOfRangeQuantileThrows) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), InvariantError);
+  EXPECT_THROW(s.quantile(1.1), InvariantError);
+}
+
+TEST(SampleSet, QuantilesMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.add(std::cos(i) * 100.0);
+  double prev = s.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = s.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SampleSet, AddAfterQuantileInvalidatesSortCache) {
+  SampleSet s;
+  s.add_all({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(SampleSet, FractionAboveAndCdf) {
+  SampleSet s;
+  s.add_all({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.fraction_above(3.0), 0.4);
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(s.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(99.0), 1.0);
+}
+
+TEST(SampleSet, CdfPointsShape) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  const auto pts = s.cdf_points(11);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(pts.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 100.0);
+}
+
+TEST(SampleSet, MergeCombines) {
+  SampleSet a, b;
+  a.add_all({1.0, 2.0});
+  b.add_all({3.0, 4.0});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);   // clamps to bin 0
+  h.add(0.5);    // bin 0
+  h.add(3.0);    // bin 1
+  h.add(10.0);   // clamps to bin 4
+  h.add(100.0);  // clamps to bin 4
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(Histogram, BadConstructionThrows) {
+  EXPECT_THROW(Histogram(5.0, 1.0, 3), InvariantError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvariantError);
+}
+
+TEST(Histogram2D, RowFractions) {
+  Histogram2D h(2, 0.0, 10.0, 5);
+  h.add(0, 1.0);
+  h.add(0, 1.5);
+  h.add(0, 9.0);
+  h.add(1, 5.0);
+  EXPECT_DOUBLE_EQ(h.row_total(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.row_fraction(0, 0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.row_fraction(0, 4), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.row_fraction(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(h.row_fraction(1, 0), 0.0);
+}
+
+TEST(Histogram2D, OutOfRangeRowThrows) {
+  Histogram2D h(2, 0.0, 1.0, 2);
+  EXPECT_THROW(h.add(2, 0.5), InvariantError);
+  EXPECT_THROW(h.count(0, 5), InvariantError);
+}
+
+TEST(TimeSeries, BucketMeans) {
+  TimeSeries ts(kSec, 10 * kSec);
+  ts.add(500 * kMsec, 2.0);
+  ts.add(600 * kMsec, 4.0);
+  ts.add(5 * kSec, 10.0);
+  EXPECT_EQ(ts.bucket_count(), 10u);
+  EXPECT_DOUBLE_EQ(ts.mean(0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean(5), 10.0);
+  EXPECT_DOUBLE_EQ(ts.mean(9), 0.0);
+  EXPECT_EQ(ts.samples(0), 2u);
+}
+
+TEST(TimeSeries, ClampsOutOfRange) {
+  TimeSeries ts(kSec, 2 * kSec);
+  ts.add(-5, 1.0);
+  ts.add(100 * kSec, 2.0);
+  EXPECT_EQ(ts.samples(0), 1u);
+  EXPECT_EQ(ts.samples(1), 1u);
+}
+
+TEST(TimeSeries, IncrementCountsSum) {
+  TimeSeries ts(kSec, 3 * kSec);
+  ts.increment(100);
+  ts.increment(200, 2.0);
+  EXPECT_DOUBLE_EQ(ts.sum(0), 3.0);
+  const auto sums = ts.sum_series();
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);
+}
+
+TEST(TimeSeries, BucketStarts) {
+  TimeSeries ts(250 * kMsec, kSec);
+  EXPECT_EQ(ts.bucket_count(), 4u);
+  EXPECT_EQ(ts.bucket_start(2), 500 * kMsec);
+}
+
+TEST(Qos, ViolationAccounting) {
+  QosTracker qos;
+  const RequestTypeId t(0);
+  qos.set_slo(t, 100 * kMsec);
+  qos.record_completion(t, 50 * kMsec);   // ok
+  qos.record_completion(t, 150 * kMsec);  // violation
+  qos.record_unfinished(t);               // violation
+  EXPECT_EQ(qos.completed(), 2u);
+  EXPECT_EQ(qos.unfinished(), 1u);
+  EXPECT_EQ(qos.violations(), 2u);
+  EXPECT_EQ(qos.total(), 3u);
+  EXPECT_NEAR(qos.violation_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Qos, ExactlyAtSloIsNotViolation) {
+  QosTracker qos;
+  const RequestTypeId t(1);
+  qos.set_slo(t, 100);
+  qos.record_completion(t, 100);
+  EXPECT_EQ(qos.violations(), 0u);
+}
+
+TEST(Qos, UnknownTypeThrows) {
+  QosTracker qos;
+  EXPECT_THROW(qos.record_completion(RequestTypeId(9), 1), InvariantError);
+  EXPECT_THROW(qos.slo(RequestTypeId(9)), InvariantError);
+}
+
+TEST(Qos, EmptyRateIsZero) {
+  QosTracker qos;
+  EXPECT_DOUBLE_EQ(qos.violation_rate(), 0.0);
+}
+
+TEST(Qos, LatenciesRecorded) {
+  QosTracker qos;
+  const RequestTypeId t(0);
+  qos.set_slo(t, 1000);
+  qos.record_completion(t, 10);
+  qos.record_completion(t, 20);
+  EXPECT_EQ(qos.latencies().count(), 2u);
+  EXPECT_DOUBLE_EQ(qos.latencies().mean(), 15.0);
+}
+
+}  // namespace
+}  // namespace vmlp::stats

@@ -1,0 +1,81 @@
+// ThreadPool: results, exceptions, parallel_for coverage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace vmlp {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL() << "must not run"; });
+  pool.parallel_for(7, 3, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForOffsetRange) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+11+...+19
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::logic_error("bad index");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, SubmitAfterDestructionPatternSafe) {
+  // Destroying a pool with completed work must not hang.
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(2);
+    auto f = pool.submit([] { return 1; });
+    EXPECT_EQ(f.get(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace vmlp

@@ -1,0 +1,201 @@
+// Tracing (Zipkin analogue) and the historical profile store.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "trace/profile_store.h"
+#include "trace/tracer.h"
+
+namespace vmlp::trace {
+namespace {
+
+TEST(Tracer, RequestLifecycle) {
+  Tracer tracer;
+  tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 100);
+  EXPECT_EQ(tracer.request_count(), 1u);
+  EXPECT_EQ(tracer.completed_count(), 0u);
+  const RequestRecord* rec = tracer.find_request(RequestId(1));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->finished());
+
+  tracer.on_request_completion(RequestId(1), 600);
+  EXPECT_EQ(tracer.completed_count(), 1u);
+  EXPECT_TRUE(rec->finished());
+  EXPECT_EQ(rec->latency(), 500);
+}
+
+TEST(Tracer, DuplicateArrivalThrows) {
+  Tracer tracer;
+  tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 0);
+  EXPECT_THROW(tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 1), InvariantError);
+}
+
+TEST(Tracer, CompletionErrors) {
+  Tracer tracer;
+  EXPECT_THROW(tracer.on_request_completion(RequestId(5), 10), InvariantError);
+  tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 100);
+  EXPECT_THROW(tracer.on_request_completion(RequestId(1), 50), InvariantError);  // before arrival
+  tracer.on_request_completion(RequestId(1), 200);
+  EXPECT_THROW(tracer.on_request_completion(RequestId(1), 300), InvariantError);  // twice
+}
+
+TEST(Tracer, SpansByRequestSorted) {
+  Tracer tracer;
+  tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 0);
+  tracer.record_span(Span{RequestId(1), RequestTypeId(0), ServiceTypeId(2), InstanceId(1),
+                          MachineId(0), 50, 80});
+  tracer.record_span(Span{RequestId(1), RequestTypeId(0), ServiceTypeId(1), InstanceId(0),
+                          MachineId(0), 10, 40});
+  const auto spans = tracer.spans_of(RequestId(1));
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0]->service, ServiceTypeId(1));
+  EXPECT_EQ(spans[1]->service, ServiceTypeId(2));
+  EXPECT_EQ(spans[0]->duration(), 30);
+  EXPECT_TRUE(tracer.spans_of(RequestId(9)).empty());
+}
+
+TEST(Tracer, BackwardsSpanThrows) {
+  Tracer tracer;
+  EXPECT_THROW(tracer.record_span(Span{RequestId(1), RequestTypeId(0), ServiceTypeId(0),
+                                       InstanceId(0), MachineId(0), 100, 50}),
+               InvariantError);
+}
+
+TEST(Tracer, RequestsInArrivalOrder) {
+  Tracer tracer;
+  tracer.on_request_arrival(RequestId(3), RequestTypeId(0), 0);
+  tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 5);
+  const auto reqs = tracer.requests();
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0]->id, RequestId(3));
+  EXPECT_EQ(reqs[1]->id, RequestId(1));
+}
+
+class ProfileStoreTest : public ::testing::Test {
+ protected:
+  static ExecutionCase make_case(SimDuration exec) {
+    return ExecutionCase{{100, 100, 10}, 0.2, exec};
+  }
+  ServiceTypeId svc_{1};
+  RequestTypeId req_{2};
+};
+
+TEST_F(ProfileStoreTest, EmptyQueriesReturnNullopt) {
+  ProfileStore store;
+  EXPECT_FALSE(store.has_history(svc_, req_));
+  EXPECT_FALSE(store.max_slack(svc_, req_).has_value());
+  EXPECT_FALSE(store.mean_exec(svc_, req_).has_value());
+  EXPECT_FALSE(store.quantile_of_recent(svc_, req_, 0.5, 50).has_value());
+  EXPECT_FALSE(store.mean_usage(svc_, req_).has_value());
+  EXPECT_TRUE(store.exec_times(svc_, req_).empty());
+}
+
+TEST_F(ProfileStoreTest, MeanAndMax) {
+  ProfileStore store;
+  for (SimDuration t : {10, 20, 30}) store.record(svc_, req_, make_case(t));
+  EXPECT_EQ(store.case_count(svc_, req_), 3u);
+  EXPECT_EQ(*store.mean_exec(svc_, req_), 20);
+  EXPECT_EQ(*store.max_slack(svc_, req_), 30);
+}
+
+TEST_F(ProfileStoreTest, KeysAreIndependent) {
+  ProfileStore store;
+  store.record(svc_, req_, make_case(10));
+  store.record(ServiceTypeId(9), req_, make_case(99));
+  EXPECT_EQ(*store.max_slack(svc_, req_), 10);
+  EXPECT_EQ(*store.max_slack(ServiceTypeId(9), req_), 99);
+  EXPECT_FALSE(store.has_history(svc_, RequestTypeId(7)));
+}
+
+TEST_F(ProfileStoreTest, RingEvictionOldestFirst) {
+  ProfileStore store(4);
+  for (SimDuration t = 1; t <= 6; ++t) store.record(svc_, req_, make_case(t * 10));
+  EXPECT_EQ(store.case_count(svc_, req_), 4u);
+  // Oldest two (10, 20) evicted.
+  const auto times = store.exec_times(svc_, req_);
+  EXPECT_EQ(times, (std::vector<SimDuration>{30, 40, 50, 60}));
+  EXPECT_EQ(*store.mean_exec(svc_, req_), 45);
+}
+
+TEST_F(ProfileStoreTest, MeanUsageAveragesVectors) {
+  ProfileStore store;
+  store.record(svc_, req_, ExecutionCase{{100, 0, 0}, 0.1, 10});
+  store.record(svc_, req_, ExecutionCase{{300, 0, 0}, 0.1, 10});
+  EXPECT_NEAR(store.mean_usage(svc_, req_)->cpu, 200.0, 1e-9);
+}
+
+TEST_F(ProfileStoreTest, QuantileOfRecentWindow) {
+  ProfileStore store;
+  // 100 cases: 1..100.
+  for (SimDuration t = 1; t <= 100; ++t) store.record(svc_, req_, make_case(t));
+  // Most recent 10%: 91..100 — median 95 or 96.
+  const auto q50 = *store.quantile_of_recent(svc_, req_, 0.5, 10.0);
+  EXPECT_NEAR(static_cast<double>(q50), 95.5, 1.0);
+  // Whole history median ~50.5.
+  const auto q50_all = *store.quantile_of_recent(svc_, req_, 0.5, 100.0);
+  EXPECT_NEAR(static_cast<double>(q50_all), 50.5, 1.0);
+  // p99 of everything ~99.
+  const auto q99 = *store.quantile_of_recent(svc_, req_, 0.99, 100.0);
+  EXPECT_GE(q99, 98);
+}
+
+TEST_F(ProfileStoreTest, QuantileTakesAtLeastOne) {
+  ProfileStore store;
+  store.record(svc_, req_, make_case(42));
+  EXPECT_EQ(*store.quantile_of_recent(svc_, req_, 0.99, 1.0), 42);
+}
+
+TEST_F(ProfileStoreTest, QuantileParamValidation) {
+  ProfileStore store;
+  store.record(svc_, req_, make_case(1));
+  EXPECT_THROW((void)store.quantile_of_recent(svc_, req_, 1.5, 50), InvariantError);
+  EXPECT_THROW((void)store.quantile_of_recent(svc_, req_, 0.5, 0.0), InvariantError);
+  EXPECT_THROW((void)store.quantile_of_recent(svc_, req_, 0.5, 101.0), InvariantError);
+}
+
+TEST_F(ProfileStoreTest, CachedQuantileRefreshesAfterStaleness) {
+  ProfileStore store;
+  for (int i = 0; i < 10; ++i) store.record(svc_, req_, make_case(10));
+  EXPECT_EQ(*store.quantile_of_recent(svc_, req_, 0.5, 100.0), 10);
+  // Flood with much larger values: after the staleness window the cached
+  // quantile must reflect them.
+  for (std::uint64_t i = 0; i < 2 * ProfileStore::kCacheStaleness; ++i) {
+    store.record(svc_, req_, make_case(1000));
+  }
+  EXPECT_EQ(*store.quantile_of_recent(svc_, req_, 0.5, 100.0), 1000);
+}
+
+TEST_F(ProfileStoreTest, CachedMaxRefreshes) {
+  ProfileStore store(512);
+  store.record(svc_, req_, make_case(10));
+  EXPECT_EQ(*store.max_slack(svc_, req_), 10);
+  for (std::uint64_t i = 0; i < 2 * ProfileStore::kCacheStaleness; ++i) {
+    store.record(svc_, req_, make_case(500));
+  }
+  EXPECT_EQ(*store.max_slack(svc_, req_), 500);
+}
+
+TEST_F(ProfileStoreTest, IncrementalMeanMatchesRecomputeUnderEviction) {
+  ProfileStore store(8);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    store.record(svc_, req_, make_case(rng.uniform_int(1, 1000)));
+    const auto times = store.exec_times(svc_, req_);
+    double sum = 0.0;
+    for (auto t : times) sum += static_cast<double>(t);
+    EXPECT_EQ(*store.mean_exec(svc_, req_),
+              static_cast<SimDuration>(std::llround(sum / static_cast<double>(times.size()))));
+  }
+}
+
+TEST_F(ProfileStoreTest, ZeroCapacityThrows) { EXPECT_THROW(ProfileStore(0), InvariantError); }
+
+TEST_F(ProfileStoreTest, NegativeExecTimeThrows) {
+  ProfileStore store;
+  EXPECT_THROW(store.record(svc_, req_, make_case(-1)), InvariantError);
+}
+
+}  // namespace
+}  // namespace vmlp::trace
