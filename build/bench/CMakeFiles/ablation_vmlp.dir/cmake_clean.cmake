@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vmlp.dir/ablation_vmlp.cpp.o"
+  "CMakeFiles/ablation_vmlp.dir/ablation_vmlp.cpp.o.d"
+  "ablation_vmlp"
+  "ablation_vmlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vmlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

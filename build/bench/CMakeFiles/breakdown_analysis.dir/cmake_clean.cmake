@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_analysis.dir/breakdown_analysis.cpp.o"
+  "CMakeFiles/breakdown_analysis.dir/breakdown_analysis.cpp.o.d"
+  "breakdown_analysis"
+  "breakdown_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03a_resource_ratio.dir/fig03a_resource_ratio.cpp.o"
+  "CMakeFiles/fig03a_resource_ratio.dir/fig03a_resource_ratio.cpp.o.d"
+  "fig03a_resource_ratio"
+  "fig03a_resource_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03a_resource_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

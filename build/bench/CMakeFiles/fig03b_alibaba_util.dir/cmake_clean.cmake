@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03b_alibaba_util.dir/fig03b_alibaba_util.cpp.o"
+  "CMakeFiles/fig03b_alibaba_util.dir/fig03b_alibaba_util.cpp.o.d"
+  "fig03b_alibaba_util"
+  "fig03b_alibaba_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03b_alibaba_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

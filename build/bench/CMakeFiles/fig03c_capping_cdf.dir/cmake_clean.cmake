@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03c_capping_cdf.dir/fig03c_capping_cdf.cpp.o"
+  "CMakeFiles/fig03c_capping_cdf.dir/fig03c_capping_cdf.cpp.o.d"
+  "fig03c_capping_cdf"
+  "fig03c_capping_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03c_capping_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03c_capping_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_qos_violation.dir/fig10_qos_violation.cpp.o"
+  "CMakeFiles/fig10_qos_violation.dir/fig10_qos_violation.cpp.o.d"
+  "fig10_qos_violation"
+  "fig10_qos_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_qos_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_latency_distribution.dir/fig12_latency_distribution.cpp.o"
+  "CMakeFiles/fig12_latency_distribution.dir/fig12_latency_distribution.cpp.o.d"
+  "fig12_latency_distribution"
+  "fig12_latency_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_latency_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

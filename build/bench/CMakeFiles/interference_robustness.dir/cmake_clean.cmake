@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_robustness.dir/interference_robustness.cpp.o"
+  "CMakeFiles/interference_robustness.dir/interference_robustness.cpp.o.d"
+  "interference_robustness"
+  "interference_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

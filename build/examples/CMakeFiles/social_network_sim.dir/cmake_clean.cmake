@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_sim.dir/social_network_sim.cpp.o"
+  "CMakeFiles/social_network_sim.dir/social_network_sim.cpp.o.d"
+  "social_network_sim"
+  "social_network_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/train_ticket_sweep.cpp" "examples/CMakeFiles/train_ticket_sweep.dir/train_ticket_sweep.cpp.o" "gcc" "examples/CMakeFiles/train_ticket_sweep.dir/train_ticket_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/vmlp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vmlp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlp/CMakeFiles/vmlp_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vmlp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmlp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/vmlp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vmlp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vmlp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/vmlp_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/vmlp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vmlp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vmlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

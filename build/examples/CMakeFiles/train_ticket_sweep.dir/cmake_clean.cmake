@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_ticket_sweep.dir/train_ticket_sweep.cpp.o"
+  "CMakeFiles/train_ticket_sweep.dir/train_ticket_sweep.cpp.o.d"
+  "train_ticket_sweep"
+  "train_ticket_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_ticket_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

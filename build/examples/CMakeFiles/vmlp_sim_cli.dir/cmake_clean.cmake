@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_sim_cli.dir/vmlp_sim_cli.cpp.o"
+  "CMakeFiles/vmlp_sim_cli.dir/vmlp_sim_cli.cpp.o.d"
+  "vmlp_sim_cli"
+  "vmlp_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/application.cpp" "src/app/CMakeFiles/vmlp_app.dir/application.cpp.o" "gcc" "src/app/CMakeFiles/vmlp_app.dir/application.cpp.o.d"
+  "/root/repo/src/app/dag.cpp" "src/app/CMakeFiles/vmlp_app.dir/dag.cpp.o" "gcc" "src/app/CMakeFiles/vmlp_app.dir/dag.cpp.o.d"
+  "/root/repo/src/app/exec_model.cpp" "src/app/CMakeFiles/vmlp_app.dir/exec_model.cpp.o" "gcc" "src/app/CMakeFiles/vmlp_app.dir/exec_model.cpp.o.d"
+  "/root/repo/src/app/microservice.cpp" "src/app/CMakeFiles/vmlp_app.dir/microservice.cpp.o" "gcc" "src/app/CMakeFiles/vmlp_app.dir/microservice.cpp.o.d"
+  "/root/repo/src/app/request_runtime.cpp" "src/app/CMakeFiles/vmlp_app.dir/request_runtime.cpp.o" "gcc" "src/app/CMakeFiles/vmlp_app.dir/request_runtime.cpp.o.d"
+  "/root/repo/src/app/volatility.cpp" "src/app/CMakeFiles/vmlp_app.dir/volatility.cpp.o" "gcc" "src/app/CMakeFiles/vmlp_app.dir/volatility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vmlp_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

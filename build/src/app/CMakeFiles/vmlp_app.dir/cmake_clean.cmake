@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_app.dir/application.cpp.o"
+  "CMakeFiles/vmlp_app.dir/application.cpp.o.d"
+  "CMakeFiles/vmlp_app.dir/dag.cpp.o"
+  "CMakeFiles/vmlp_app.dir/dag.cpp.o.d"
+  "CMakeFiles/vmlp_app.dir/exec_model.cpp.o"
+  "CMakeFiles/vmlp_app.dir/exec_model.cpp.o.d"
+  "CMakeFiles/vmlp_app.dir/microservice.cpp.o"
+  "CMakeFiles/vmlp_app.dir/microservice.cpp.o.d"
+  "CMakeFiles/vmlp_app.dir/request_runtime.cpp.o"
+  "CMakeFiles/vmlp_app.dir/request_runtime.cpp.o.d"
+  "CMakeFiles/vmlp_app.dir/volatility.cpp.o"
+  "CMakeFiles/vmlp_app.dir/volatility.cpp.o.d"
+  "libvmlp_app.a"
+  "libvmlp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/vmlp_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/vmlp_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/container.cpp" "src/cluster/CMakeFiles/vmlp_cluster.dir/container.cpp.o" "gcc" "src/cluster/CMakeFiles/vmlp_cluster.dir/container.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/cluster/CMakeFiles/vmlp_cluster.dir/machine.cpp.o" "gcc" "src/cluster/CMakeFiles/vmlp_cluster.dir/machine.cpp.o.d"
+  "/root/repo/src/cluster/reservation.cpp" "src/cluster/CMakeFiles/vmlp_cluster.dir/reservation.cpp.o" "gcc" "src/cluster/CMakeFiles/vmlp_cluster.dir/reservation.cpp.o.d"
+  "/root/repo/src/cluster/resources.cpp" "src/cluster/CMakeFiles/vmlp_cluster.dir/resources.cpp.o" "gcc" "src/cluster/CMakeFiles/vmlp_cluster.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/vmlp_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/vmlp_cluster.dir/container.cpp.o"
+  "CMakeFiles/vmlp_cluster.dir/container.cpp.o.d"
+  "CMakeFiles/vmlp_cluster.dir/machine.cpp.o"
+  "CMakeFiles/vmlp_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/vmlp_cluster.dir/reservation.cpp.o"
+  "CMakeFiles/vmlp_cluster.dir/reservation.cpp.o.d"
+  "CMakeFiles/vmlp_cluster.dir/resources.cpp.o"
+  "CMakeFiles/vmlp_cluster.dir/resources.cpp.o.d"
+  "libvmlp_cluster.a"
+  "libvmlp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_common.dir/config.cpp.o"
+  "CMakeFiles/vmlp_common.dir/config.cpp.o.d"
+  "CMakeFiles/vmlp_common.dir/log.cpp.o"
+  "CMakeFiles/vmlp_common.dir/log.cpp.o.d"
+  "CMakeFiles/vmlp_common.dir/rng.cpp.o"
+  "CMakeFiles/vmlp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vmlp_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/vmlp_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/vmlp_common.dir/types.cpp.o"
+  "CMakeFiles/vmlp_common.dir/types.cpp.o.d"
+  "libvmlp_common.a"
+  "libvmlp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

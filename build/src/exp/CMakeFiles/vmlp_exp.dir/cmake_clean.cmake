@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_exp.dir/analysis.cpp.o"
+  "CMakeFiles/vmlp_exp.dir/analysis.cpp.o.d"
+  "CMakeFiles/vmlp_exp.dir/experiment.cpp.o"
+  "CMakeFiles/vmlp_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/vmlp_exp.dir/report.cpp.o"
+  "CMakeFiles/vmlp_exp.dir/report.cpp.o.d"
+  "libvmlp_exp.a"
+  "libvmlp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

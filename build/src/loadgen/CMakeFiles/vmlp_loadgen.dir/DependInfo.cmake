@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadgen/generator.cpp" "src/loadgen/CMakeFiles/vmlp_loadgen.dir/generator.cpp.o" "gcc" "src/loadgen/CMakeFiles/vmlp_loadgen.dir/generator.cpp.o.d"
+  "/root/repo/src/loadgen/patterns.cpp" "src/loadgen/CMakeFiles/vmlp_loadgen.dir/patterns.cpp.o" "gcc" "src/loadgen/CMakeFiles/vmlp_loadgen.dir/patterns.cpp.o.d"
+  "/root/repo/src/loadgen/replay.cpp" "src/loadgen/CMakeFiles/vmlp_loadgen.dir/replay.cpp.o" "gcc" "src/loadgen/CMakeFiles/vmlp_loadgen.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/vmlp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vmlp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vmlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

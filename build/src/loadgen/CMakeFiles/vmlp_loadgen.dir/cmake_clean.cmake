@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_loadgen.dir/generator.cpp.o"
+  "CMakeFiles/vmlp_loadgen.dir/generator.cpp.o.d"
+  "CMakeFiles/vmlp_loadgen.dir/patterns.cpp.o"
+  "CMakeFiles/vmlp_loadgen.dir/patterns.cpp.o.d"
+  "CMakeFiles/vmlp_loadgen.dir/replay.cpp.o"
+  "CMakeFiles/vmlp_loadgen.dir/replay.cpp.o.d"
+  "libvmlp_loadgen.a"
+  "libvmlp_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

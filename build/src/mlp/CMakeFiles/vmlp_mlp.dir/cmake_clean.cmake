@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_mlp.dir/metrics.cpp.o"
+  "CMakeFiles/vmlp_mlp.dir/metrics.cpp.o.d"
+  "CMakeFiles/vmlp_mlp.dir/self_healing.cpp.o"
+  "CMakeFiles/vmlp_mlp.dir/self_healing.cpp.o.d"
+  "CMakeFiles/vmlp_mlp.dir/self_organizing.cpp.o"
+  "CMakeFiles/vmlp_mlp.dir/self_organizing.cpp.o.d"
+  "CMakeFiles/vmlp_mlp.dir/vmlp.cpp.o"
+  "CMakeFiles/vmlp_mlp.dir/vmlp.cpp.o.d"
+  "libvmlp_mlp.a"
+  "libvmlp_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

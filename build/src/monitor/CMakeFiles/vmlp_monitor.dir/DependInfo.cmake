@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/monitor.cpp" "src/monitor/CMakeFiles/vmlp_monitor.dir/monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/vmlp_monitor.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vmlp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vmlp_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/vmlp_monitor.dir/monitor.cpp.o.d"
+  "libvmlp_monitor.a"
+  "libvmlp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/comm_model.cpp" "src/net/CMakeFiles/vmlp_net.dir/comm_model.cpp.o" "gcc" "src/net/CMakeFiles/vmlp_net.dir/comm_model.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/vmlp_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/vmlp_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vmlp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

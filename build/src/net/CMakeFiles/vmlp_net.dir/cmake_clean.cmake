@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_net.dir/comm_model.cpp.o"
+  "CMakeFiles/vmlp_net.dir/comm_model.cpp.o.d"
+  "CMakeFiles/vmlp_net.dir/topology.cpp.o"
+  "CMakeFiles/vmlp_net.dir/topology.cpp.o.d"
+  "libvmlp_net.a"
+  "libvmlp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

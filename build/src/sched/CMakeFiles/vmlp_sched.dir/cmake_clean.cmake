@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_sched.dir/common.cpp.o"
+  "CMakeFiles/vmlp_sched.dir/common.cpp.o.d"
+  "CMakeFiles/vmlp_sched.dir/cur_sched.cpp.o"
+  "CMakeFiles/vmlp_sched.dir/cur_sched.cpp.o.d"
+  "CMakeFiles/vmlp_sched.dir/driver.cpp.o"
+  "CMakeFiles/vmlp_sched.dir/driver.cpp.o.d"
+  "CMakeFiles/vmlp_sched.dir/fair_sched.cpp.o"
+  "CMakeFiles/vmlp_sched.dir/fair_sched.cpp.o.d"
+  "CMakeFiles/vmlp_sched.dir/full_profile.cpp.o"
+  "CMakeFiles/vmlp_sched.dir/full_profile.cpp.o.d"
+  "CMakeFiles/vmlp_sched.dir/part_profile.cpp.o"
+  "CMakeFiles/vmlp_sched.dir/part_profile.cpp.o.d"
+  "libvmlp_sched.a"
+  "libvmlp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_sim.dir/engine.cpp.o"
+  "CMakeFiles/vmlp_sim.dir/engine.cpp.o.d"
+  "libvmlp_sim.a"
+  "libvmlp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

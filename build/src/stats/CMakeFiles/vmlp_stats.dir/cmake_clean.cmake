@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_stats.dir/histogram.cpp.o"
+  "CMakeFiles/vmlp_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/vmlp_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/vmlp_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/vmlp_stats.dir/percentile.cpp.o"
+  "CMakeFiles/vmlp_stats.dir/percentile.cpp.o.d"
+  "CMakeFiles/vmlp_stats.dir/qos.cpp.o"
+  "CMakeFiles/vmlp_stats.dir/qos.cpp.o.d"
+  "CMakeFiles/vmlp_stats.dir/summary.cpp.o"
+  "CMakeFiles/vmlp_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/vmlp_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/vmlp_stats.dir/timeseries.cpp.o.d"
+  "libvmlp_stats.a"
+  "libvmlp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

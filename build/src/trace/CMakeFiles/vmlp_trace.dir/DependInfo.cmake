@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/export.cpp" "src/trace/CMakeFiles/vmlp_trace.dir/export.cpp.o" "gcc" "src/trace/CMakeFiles/vmlp_trace.dir/export.cpp.o.d"
+  "/root/repo/src/trace/profile_store.cpp" "src/trace/CMakeFiles/vmlp_trace.dir/profile_store.cpp.o" "gcc" "src/trace/CMakeFiles/vmlp_trace.dir/profile_store.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/trace/CMakeFiles/vmlp_trace.dir/tracer.cpp.o" "gcc" "src/trace/CMakeFiles/vmlp_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vmlp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/vmlp_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

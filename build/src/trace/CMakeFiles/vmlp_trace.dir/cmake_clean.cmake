@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_trace.dir/export.cpp.o"
+  "CMakeFiles/vmlp_trace.dir/export.cpp.o.d"
+  "CMakeFiles/vmlp_trace.dir/profile_store.cpp.o"
+  "CMakeFiles/vmlp_trace.dir/profile_store.cpp.o.d"
+  "CMakeFiles/vmlp_trace.dir/tracer.cpp.o"
+  "CMakeFiles/vmlp_trace.dir/tracer.cpp.o.d"
+  "libvmlp_trace.a"
+  "libvmlp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvmlp_trace.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/alibaba_trace.cpp" "src/workloads/CMakeFiles/vmlp_workloads.dir/alibaba_trace.cpp.o" "gcc" "src/workloads/CMakeFiles/vmlp_workloads.dir/alibaba_trace.cpp.o.d"
+  "/root/repo/src/workloads/social_network.cpp" "src/workloads/CMakeFiles/vmlp_workloads.dir/social_network.cpp.o" "gcc" "src/workloads/CMakeFiles/vmlp_workloads.dir/social_network.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/vmlp_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/vmlp_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/train_ticket.cpp" "src/workloads/CMakeFiles/vmlp_workloads.dir/train_ticket.cpp.o" "gcc" "src/workloads/CMakeFiles/vmlp_workloads.dir/train_ticket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/vmlp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vmlp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vmlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmlp_workloads.dir/alibaba_trace.cpp.o"
+  "CMakeFiles/vmlp_workloads.dir/alibaba_trace.cpp.o.d"
+  "CMakeFiles/vmlp_workloads.dir/social_network.cpp.o"
+  "CMakeFiles/vmlp_workloads.dir/social_network.cpp.o.d"
+  "CMakeFiles/vmlp_workloads.dir/suite.cpp.o"
+  "CMakeFiles/vmlp_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/vmlp_workloads.dir/train_ticket.cpp.o"
+  "CMakeFiles/vmlp_workloads.dir/train_ticket.cpp.o.d"
+  "libvmlp_workloads.a"
+  "libvmlp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmlp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

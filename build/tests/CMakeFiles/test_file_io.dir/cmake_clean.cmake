@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_io.dir/test_file_io.cpp.o"
+  "CMakeFiles/test_file_io.dir/test_file_io.cpp.o.d"
+  "test_file_io"
+  "test_file_io.pdb"
+  "test_file_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loadgen.dir/test_loadgen.cpp.o"
+  "CMakeFiles/test_loadgen.dir/test_loadgen.cpp.o.d"
+  "test_loadgen"
+  "test_loadgen.pdb"
+  "test_loadgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

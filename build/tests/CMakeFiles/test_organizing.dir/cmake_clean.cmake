@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_organizing.dir/test_organizing.cpp.o"
+  "CMakeFiles/test_organizing.dir/test_organizing.cpp.o.d"
+  "test_organizing"
+  "test_organizing.pdb"
+  "test_organizing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_organizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
