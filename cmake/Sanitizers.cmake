@@ -1,0 +1,49 @@
+# Sanitizer wiring for every target in the build.
+#
+# VMLP_SANITIZE is a semicolon list of sanitizers to enable globally:
+#   -DVMLP_SANITIZE=address;undefined   (ASan + UBSan, the asan-ubsan preset)
+#   -DVMLP_SANITIZE=thread              (TSan, the tsan preset)
+# Thread cannot be combined with address/leak — CMake errors out early rather
+# than letting the link fail with an inscrutable message.
+#
+# Flags are applied with add_compile_options/add_link_options so third-party
+# subdirectories (none today) and every vmlp target inherit them; sanitizers
+# only work when every TU in the process is instrumented consistently.
+
+set(VMLP_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers: address;undefined;leak;thread")
+
+if(NOT VMLP_SANITIZE)
+  return()
+endif()
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  message(WARNING "VMLP_SANITIZE requested but compiler ${CMAKE_CXX_COMPILER_ID} "
+                  "is not GCC/Clang; ignoring")
+  return()
+endif()
+
+set(_vmlp_san_known address undefined leak thread)
+foreach(_san IN LISTS VMLP_SANITIZE)
+  if(NOT _san IN_LIST _vmlp_san_known)
+    message(FATAL_ERROR "Unknown sanitizer '${_san}' in VMLP_SANITIZE "
+                        "(known: ${_vmlp_san_known})")
+  endif()
+endforeach()
+
+if("thread" IN_LIST VMLP_SANITIZE AND
+   ("address" IN_LIST VMLP_SANITIZE OR "leak" IN_LIST VMLP_SANITIZE))
+  message(FATAL_ERROR "thread sanitizer cannot be combined with address/leak")
+endif()
+
+string(REPLACE ";" "," _vmlp_san_csv "${VMLP_SANITIZE}")
+message(STATUS "vmlp: sanitizers enabled: ${_vmlp_san_csv}")
+
+add_compile_options(-fsanitize=${_vmlp_san_csv} -fno-omit-frame-pointer -g)
+add_link_options(-fsanitize=${_vmlp_san_csv})
+
+if("undefined" IN_LIST VMLP_SANITIZE)
+  # Trap-on-error would lose the diagnostic; keep runtime messages but make
+  # every report fatal so ctest fails loudly.
+  add_compile_options(-fno-sanitize-recover=all)
+endif()

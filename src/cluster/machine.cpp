@@ -37,8 +37,7 @@ const Container* Machine::find_container(ContainerId id) const {
 std::vector<ContainerId> Machine::container_ids() const {
   std::vector<ContainerId> ids;
   ids.reserve(containers_.size());
-  for (const auto& [id, _] : containers_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());  // deterministic iteration for callers
+  for (const auto& [id, _] : containers_) ids.push_back(id);  // map: already id-sorted
   return ids;
 }
 

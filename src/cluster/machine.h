@@ -3,7 +3,7 @@
 // its committed future.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "cluster/container.h"
@@ -52,7 +52,10 @@ class Machine {
   MachineId id_;
   ResourceVector capacity_;
   ReservationLedger ledger_;
-  std::unordered_map<ContainerId, Container> containers_;
+  // Ordered by ContainerId so usage/allocation sums accumulate in a stable
+  // order — unordered iteration would make exported metrics depend on
+  // rehash history (see tools/vmlp_lint.py, rule unordered-iter).
+  std::map<ContainerId, Container> containers_;
 };
 
 }  // namespace vmlp::cluster

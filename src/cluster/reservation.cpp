@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.h"
 #include "common/error.h"
 
 namespace vmlp::cluster {
@@ -29,14 +30,22 @@ std::map<SimTime, ResourceVector>::iterator ReservationLedger::split_at(SimTime 
 
 void ReservationLedger::reserve(SimTime t0, SimTime t1, const ResourceVector& r) {
   VMLP_CHECK_MSG(t0 < t1, "empty reservation window [" << t0 << "," << t1 << ")");
+  // A negative or non-finite reservation silently *creates* capacity — the
+  // canonical corruption a buggy planner would introduce.
+  VMLP_AUDIT_ASSERT(r.is_finite(), "non-finite reservation " << r.to_string());
+  VMLP_AUDIT_ASSERT(!r.any_negative(), "negative reservation " << r.to_string());
   auto begin = split_at(t0);
   auto end = split_at(t1);
   for (auto it = begin; it != end; ++it) it->second += r;
   coalesce(t0, t1);
+  if (::vmlp::audit::enabled()) audit_invariants();
 }
 
 void ReservationLedger::release(SimTime t0, SimTime t1, const ResourceVector& r) {
   VMLP_CHECK_MSG(t0 < t1, "empty release window");
+  VMLP_AUDIT_ASSERT(r.is_finite(), "non-finite release " << r.to_string());
+  VMLP_AUDIT_ASSERT(!r.any_negative(),
+                    "negative release " << r.to_string() << " would inflate the profile");
   auto begin = split_at(t0);
   auto end = split_at(t1);
   for (auto it = begin; it != end; ++it) {
@@ -47,6 +56,7 @@ void ReservationLedger::release(SimTime t0, SimTime t1, const ResourceVector& r)
     if (it->second.near_zero()) it->second = ResourceVector::zero();
   }
   coalesce(t0, t1);
+  if (::vmlp::audit::enabled()) audit_invariants();
 }
 
 void ReservationLedger::coalesce(SimTime t0, SimTime t1) {
@@ -100,6 +110,21 @@ SimTime ReservationLedger::earliest_fit(SimTime from, SimDuration duration,
     t = it->first;
   }
   return kTimeInfinity;
+}
+
+void ReservationLedger::audit_invariants() const {
+  VMLP_CHECK_MSG(!profile_.empty(), "ledger profile lost its origin segment");
+  const ResourceVector* prev = nullptr;
+  for (const auto& [t, level] : profile_) {
+    VMLP_CHECK_MSG(level.is_finite(), "non-finite ledger level at t=" << t);
+    VMLP_CHECK_MSG(!level.any_negative(),
+                   "negative ledger level " << level.to_string() << " at t=" << t);
+    if (prev != nullptr) {
+      VMLP_CHECK_MSG(!nearly_equal(*prev, level),
+                     "ledger not canonical: duplicate adjacent level at t=" << t);
+    }
+    prev = &level;
+  }
 }
 
 void ReservationLedger::compact_before(SimTime t) {

@@ -53,6 +53,13 @@ class ReservationLedger {
   /// at `t` is preserved.
   void compact_before(SimTime t);
 
+  /// Deep structural validation (audit tier): the profile is non-empty,
+  /// every level is finite and non-negative, and the segment list is
+  /// canonical (no adjacent equal levels). Throws
+  /// InvariantError on violation. Called automatically after mutations when
+  /// vmlp::audit::enabled(); also callable directly from tests.
+  void audit_invariants() const;
+
   [[nodiscard]] std::size_t segment_count() const { return profile_.size(); }
 
  private:

@@ -49,6 +49,10 @@ bool ResourceVector::any_negative() const {
   return cpu < -kResourceEpsilon || mem < -kResourceEpsilon || io < -kResourceEpsilon;
 }
 
+bool ResourceVector::is_finite() const {
+  return std::isfinite(cpu) && std::isfinite(mem) && std::isfinite(io);
+}
+
 bool ResourceVector::near_zero() const {
   return std::abs(cpu) <= kResourceEpsilon && std::abs(mem) <= kResourceEpsilon &&
          std::abs(io) <= kResourceEpsilon;

@@ -37,6 +37,9 @@ struct ResourceVector {
   [[nodiscard]] bool fits_within(const ResourceVector& budget) const;
   /// True when any component is negative (beyond epsilon).
   [[nodiscard]] bool any_negative() const;
+  /// True when every component is a finite number (no NaN/inf). Corrupted
+  /// arithmetic upstream shows up here first; checked by the audit layer.
+  [[nodiscard]] bool is_finite() const;
   /// True when every component is (near) zero.
   [[nodiscard]] bool near_zero() const;
 

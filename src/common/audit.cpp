@@ -1,0 +1,43 @@
+#include "common/audit.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace vmlp::audit {
+namespace {
+
+enum class State : int { kUnset = -1, kOff = 0, kOn = 1 };
+
+// guarded by: atomic (single word, relaxed ordering is sufficient — the flag
+// is a hint read at check sites, not a synchronization point).
+std::atomic<int> g_state{static_cast<int>(State::kUnset)};
+
+bool default_enabled() noexcept {
+  if (const char* env = std::getenv("VMLP_AUDIT")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) return false;
+    return true;
+  }
+#if defined(VMLP_AUDIT) && VMLP_AUDIT
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  int s = g_state.load(std::memory_order_relaxed);
+  if (s == static_cast<int>(State::kUnset)) {
+    s = default_enabled() ? 1 : 0;
+    g_state.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void set_enabled(bool on) noexcept {
+  g_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace vmlp::audit

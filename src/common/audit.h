@@ -1,0 +1,38 @@
+// Runtime invariant auditor.
+//
+// VMLP_AUDIT_ASSERT guards the simulator's deep structural invariants —
+// checks that are too expensive (cluster-wide conservation scans) or too
+// paranoid (monotonicity the type system already suggests) for the always-on
+// VMLP_CHECK tier. The condition expression is *not evaluated* unless
+// auditing is enabled, so hot paths pay one predictable branch.
+//
+// Enablement, in precedence order:
+//   1. vmlp::audit::set_enabled(bool)     — tests flip this directly;
+//   2. environment VMLP_AUDIT=1/0         — read once at first query;
+//   3. compile default: on when built with -DVMLP_AUDIT=1 (the `audit` and
+//      `asan-ubsan` CMake presets), off otherwise.
+//
+// A failed audit throws vmlp::InvariantError (via VMLP_CHECK_MSG), so tests
+// can assert that a deliberately corrupted state is caught.
+#pragma once
+
+#include "common/error.h"
+
+namespace vmlp::audit {
+
+/// True when audit assertions are live.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Force auditing on/off for this process (overrides env and compile default).
+void set_enabled(bool on) noexcept;
+
+}  // namespace vmlp::audit
+
+/// Deep invariant check: evaluated only when vmlp::audit::enabled().
+/// Throws InvariantError on failure.
+#define VMLP_AUDIT_ASSERT(expr, msg)                \
+  do {                                              \
+    if (::vmlp::audit::enabled()) {                 \
+      VMLP_CHECK_MSG(expr, msg);                    \
+    }                                               \
+  } while (0)

@@ -2,6 +2,7 @@
 // below the active level cost one branch; message formatting is lazy.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -15,9 +16,11 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   void write(LogLevel level, const std::string& message);
 
@@ -27,8 +30,10 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  std::ostream* sink_ = nullptr;
+  // not guarded: racy-read by design — enabled() polls it lock-free on hot
+  // paths; set_level is a test/startup-time operation.
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::ostream* sink_ = nullptr;  // guarded by mutex_
   std::mutex mutex_;
 };
 

@@ -51,11 +51,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // not guarded: written once in the constructor, joined in the destructor;
+  // never touched by worker threads.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;  // guarded by mutex_
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ = false;  // guarded by mutex_
 };
 
 }  // namespace vmlp

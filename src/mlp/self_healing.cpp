@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.h"
 #include "common/error.h"
 
 namespace vmlp::mlp {
@@ -25,6 +26,9 @@ std::size_t SelfHealing::on_late(RequestId id, std::size_t node,
 
   // Free the vacancy; the late node re-books at its actual start.
   if (dn.has_reservation) iface_->release_reservation(id, node);
+  VMLP_AUDIT_ASSERT(!dn.has_reservation,
+                    "late node still holds its reservation after the vacancy release — "
+                    "delay-slot fills would double-book the window");
 
   std::size_t actions = 0;
   if (params_.enable_delay_slot) {
@@ -130,6 +134,8 @@ std::size_t SelfHealing::stretch_resources(MachineId machine,
     if (grant.near_zero()) continue;
     iface_->set_container_limit(rid, n, dn.limit + grant);
     budget -= grant;
+    VMLP_AUDIT_ASSERT(!budget.any_negative(),
+                      "resource stretch overdrew the freed budget: " << budget.to_string());
     ++stretches_;
     ++stretched;
   }

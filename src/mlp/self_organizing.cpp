@@ -3,9 +3,40 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/audit.h"
 #include "common/error.h"
 
 namespace vmlp::mlp {
+
+void audit_plan_integrity(const sched::ActiveRequest& ar, const std::vector<NodePlan>& plans,
+                          bool require_full_cover) {
+  if (!audit::enabled()) return;
+  std::vector<bool> covered(ar.nodes.size(), false);
+  for (const NodePlan& plan : plans) {
+    VMLP_AUDIT_ASSERT(plan.node < ar.nodes.size(),
+                      "plan references node " << plan.node << " outside request of size "
+                                              << ar.nodes.size());
+    VMLP_AUDIT_ASSERT(!covered[plan.node],
+                      "plan books node " << plan.node << " twice (double-booked reservation)");
+    covered[plan.node] = true;
+    const sched::DriverNode& dn = ar.nodes[plan.node];
+    VMLP_AUDIT_ASSERT(!dn.placed && !dn.done,
+                      "plan books node " << plan.node << " that is already placed or finished");
+    VMLP_AUDIT_ASSERT(plan.busy > 0 && plan.slack >= 0 && plan.start >= 0,
+                      "plan for node " << plan.node << " has a degenerate window: start="
+                                       << plan.start << " busy=" << plan.busy
+                                       << " slack=" << plan.slack);
+  }
+  if (require_full_cover) {
+    for (std::size_t i = 0; i < ar.nodes.size(); ++i) {
+      const sched::DriverNode& dn = ar.nodes[i];
+      if (dn.placed || dn.done) continue;
+      VMLP_AUDIT_ASSERT(covered[i], "plan drops node " << i
+                                                       << " — coalesced chain does not preserve "
+                                                          "the request's stage multiset");
+    }
+  }
+}
 
 SelfOrganizing::SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng rng)
     : iface_(&iface), params_(params), rng_(rng) {}
@@ -193,6 +224,7 @@ bool SelfOrganizing::organize(RequestId id) {
       ++failed;
       continue;
     }
+    audit_plan_integrity(*ar, *plans, /*require_full_cover=*/true);
     for (const auto& plan : *plans) {
       const auto& svc = iface_->application().service(type.nodes()[plan.node].service);
       iface_->place(id, plan.node, plan.machine, svc.demand, plan.start, plan.busy);
@@ -214,6 +246,7 @@ bool SelfOrganizing::organize_node(RequestId id, std::size_t node) {
   const double x = x_percent(v_r, type.slo(), max_slo());
   auto plans = try_chain(*ar, {node}, v_r, x);
   if (!plans.has_value() || plans->empty()) return false;
+  audit_plan_integrity(*ar, *plans, /*require_full_cover=*/false);
   const auto& plan = plans->front();
   const auto& svc = iface_->application().service(type.nodes()[plan.node].service);
   iface_->place(id, plan.node, plan.machine, svc.demand, plan.start, plan.busy);

@@ -33,6 +33,15 @@ struct NodePlan {
   SimDuration slack = 0;
 };
 
+/// Audit tier: a committed plan must cover each currently unplaced,
+/// unfinished node of the request exactly once (the coalesced chain preserves
+/// the request's stage multiset), reference only valid node indices, and
+/// never book negative/non-finite windows. When `require_full_cover` is
+/// false (single-node planning) only the per-entry checks apply. Checks are
+/// live only when vmlp::audit::enabled(); violations throw InvariantError.
+void audit_plan_integrity(const sched::ActiveRequest& ar, const std::vector<NodePlan>& plans,
+                          bool require_full_cover);
+
 class SelfOrganizing {
  public:
   SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng rng);

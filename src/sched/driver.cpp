@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/audit.h"
 #include "common/error.h"
 #include "common/log.h"
 
@@ -103,6 +104,46 @@ SimDuration SimulationDriver::expected_comm(MachineId a, MachineId b) const {
 
 double SimulationDriver::volatility(RequestTypeId type) const { return app_.volatility(type); }
 
+void SimulationDriver::audit_machine_conservation(MachineId machine) const {
+  if (!audit::enabled()) return;
+  // Collect the live reservation windows the driver believes exist on this
+  // machine, clipped to the future (past segments are historical record).
+  const SimTime now = engine_.now();
+  struct Window {
+    SimTime begin;
+    SimTime end;
+    cluster::ResourceVector res;
+  };
+  std::vector<Window> windows;
+  std::vector<SimTime> probes{now};
+  // lint: unordered-ok (audit-only sum; comparison tolerance absorbs FP order)
+  for (const auto& [rid, ar] : requests_) {
+    for (const DriverNode& dn : ar->nodes) {
+      if (!dn.has_reservation || !(dn.machine == machine)) continue;
+      const SimTime lo = std::max(dn.reserved_begin, now);
+      if (lo >= dn.reserved_end) continue;
+      windows.push_back(Window{lo, dn.reserved_end, dn.limit});
+      probes.push_back(lo);
+    }
+  }
+  const auto& ledger = cluster_.machine(machine).ledger();
+  for (const SimTime t : probes) {
+    cluster::ResourceVector expected;
+    for (const Window& w : windows) {
+      if (w.begin <= t && t < w.end) expected += w.res;
+    }
+    const cluster::ResourceVector actual = ledger.usage_at(t);
+    const cluster::ResourceVector diff = actual - expected;
+    // Tolerance absorbs float residue from repeated reserve/release cycles.
+    constexpr double kTol = 1e-3;
+    VMLP_AUDIT_ASSERT(std::abs(diff.cpu) <= kTol && std::abs(diff.mem) <= kTol &&
+                          std::abs(diff.io) <= kTol,
+                      "capacity conservation violated on machine "
+                          << machine.value() << " at t=" << t << ": ledger "
+                          << actual.to_string() << " != tracked " << expected.to_string());
+  }
+}
+
 void SimulationDriver::place(RequestId id, std::size_t node, MachineId machine,
                              const cluster::ResourceVector& limit, SimTime planned_start,
                              SimDuration reserve_duration) {
@@ -121,10 +162,14 @@ void SimulationDriver::place(RequestId id, std::size_t node, MachineId machine,
   VMLP_CHECK_MSG(!dn.limit.near_zero(), "placement with a zero resource limit");
   dn.planned_start = planned_start;
   dn.reserve_duration = reserve_duration;
+  VMLP_AUDIT_ASSERT(!dn.has_reservation,
+                    "placing node " << node << " of request " << id.value()
+                                    << " that already holds a reservation (double-booking)");
   dn.reserved_begin = planned_start;
   dn.reserved_end = planned_start + reserve_duration;
   dn.has_reservation = true;
   m.ledger().reserve(dn.reserved_begin, dn.reserved_end, dn.limit);
+  audit_machine_conservation(machine);
 
   const InstanceId iid(next_instance_++);
   dn.instance = iid;
@@ -246,6 +291,7 @@ void SimulationDriver::start_node(RequestId id, std::size_t node) {
     dn.reserved_end = t + dn.reserve_duration;
     cluster_.machine(dn.machine).ledger().reserve(dn.reserved_begin, dn.reserved_end, dn.limit);
     dn.has_reservation = true;
+    audit_machine_conservation(dn.machine);
   }
 
   const auto& req_node = ar->runtime.type().nodes()[node];
@@ -356,6 +402,7 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
   cluster::Machine& m = cluster_.machine(dn.machine);
   m.remove_container(dn.container);
   release_reservation_tail(*ar, node, t);
+  audit_machine_conservation(dn.machine);
   recompute_machine(dn.machine);
 
   const auto& req_node = ar->runtime.type().nodes()[node];
@@ -427,6 +474,7 @@ void SimulationDriver::adjust_limit(RequestId id, std::size_t node,
   VMLP_CHECK(c != nullptr);
   c->set_limit(clamped);
   ++counters_.reallocations;
+  audit_machine_conservation(dn.machine);
   recompute_machine(dn.machine);
 }
 
@@ -454,6 +502,7 @@ void SimulationDriver::unplace(RequestId id, std::size_t node) {
   dn.early_denial_streak = 0;
   dn.stuck_notified = false;
   ar->runtime.revert_placement(node, engine_.now());
+  audit_machine_conservation(dn.machine);
 }
 
 void SimulationDriver::release_reservation(RequestId id, std::size_t node) {
@@ -463,6 +512,7 @@ void SimulationDriver::release_reservation(RequestId id, std::size_t node) {
   VMLP_CHECK_MSG(dn.placed && !dn.running && !dn.done,
                  "release_reservation on a node that is not pending");
   release_reservation_tail(*ar, node, engine_.now());
+  audit_machine_conservation(dn.machine);
 }
 
 void SimulationDriver::schedule_next_interference() {

@@ -219,6 +219,11 @@ class SimulationDriver {
   void recompute_machine(MachineId machine);
   void advance_instance(DriverNode& dn, SimTime to);
   void release_reservation_tail(ActiveRequest& ar, std::size_t node, SimTime from);
+  /// Audit tier: the machine's ledger at every future probe time must equal
+  /// the sum of the live node reservations the driver tracks for it —
+  /// capacity conservation across place/heal/release (no double-booked and
+  /// no leaked reservations). No-op unless vmlp::audit::enabled().
+  void audit_machine_conservation(MachineId machine) const;
   [[nodiscard]] double instance_rate(const app::MicroserviceType& type, const DriverNode& dn,
                                      const cluster::ResourceVector& effective) const;
 

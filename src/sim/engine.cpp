@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include "common/audit.h"
 #include "common/error.h"
 
 namespace vmlp::sim {
@@ -7,6 +8,10 @@ namespace vmlp::sim {
 EventHandle Engine::schedule_at(SimTime t, Callback fn) {
   VMLP_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
   VMLP_CHECK_MSG(fn != nullptr, "null event callback");
+  // A plan that propagated kTimeInfinity (e.g. a failed earliest_fit search)
+  // must never reach the event queue — it would freeze simulated time at the
+  // horizon with the event perpetually pending.
+  VMLP_AUDIT_ASSERT(t < kTimeInfinity, "event scheduled at infinity (unresolved plan time)");
   const std::uint64_t id = next_id_++;
   queue_.push(Entry{t, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
@@ -51,12 +56,20 @@ bool Engine::pending(EventHandle handle) const {
 }
 
 bool Engine::step() {
+  // Every live callback owns exactly one queue entry (cancellation is lazy:
+  // the callback map is the source of truth, stale queue entries linger).
+  VMLP_AUDIT_ASSERT(callbacks_.size() <= queue_.size(),
+                    "callback map (" << callbacks_.size() << ") larger than event queue ("
+                                     << queue_.size() << ")");
   while (!queue_.empty()) {
     const Entry entry = queue_.top();
     queue_.pop();
     auto it = callbacks_.find(entry.id);
     if (it == callbacks_.end()) continue;  // cancelled: lazy removal
     VMLP_CHECK_MSG(entry.time >= now_, "event queue time went backwards");
+    VMLP_AUDIT_ASSERT(entry.time >= last_fired_, "event firing order not monotonic: t="
+                                                     << entry.time << " after " << last_fired_);
+    last_fired_ = entry.time;
     now_ = entry.time;
     Callback fn = std::move(it->second);
     callbacks_.erase(it);

@@ -78,6 +78,7 @@ class Engine {
   void schedule_periodic_next(std::uint64_t series_id, SimTime t);
 
   SimTime now_ = 0;
+  SimTime last_fired_ = 0;  // audit bookkeeping: firing-order monotonicity
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -60,7 +60,7 @@ TEST_F(ApplicationTest, ServiceLookup) {
   EXPECT_EQ(app_.service(a_).name, "a");
   EXPECT_EQ(app_.find_service("b"), b_);
   EXPECT_FALSE(app_.find_service("zzz").has_value());
-  EXPECT_THROW(app_.service(ServiceTypeId(9)), InvariantError);
+  EXPECT_THROW((void)app_.service(ServiceTypeId(9)), InvariantError);
 }
 
 TEST_F(ApplicationTest, DuplicateServiceNameThrows) {
@@ -183,9 +183,9 @@ TEST(ExecModel, InnerVariabilityClassesMatchFig2) {
     EXPECT_NEAR(s.mean(), 10000.0, 200.0) << "I=" << cls;
     const double cv = s.cv();
     // Section II-A: low <15% worst-case variation, mid 15-45%, high >45%.
-    if (cls == 1) EXPECT_LT(cv, 0.06);
-    if (cls == 2) EXPECT_NEAR(cv, 0.10, 0.02);
-    if (cls == 3) EXPECT_GT(cv, 0.2);
+    if (cls == 1) { EXPECT_LT(cv, 0.06); }
+    if (cls == 2) { EXPECT_NEAR(cv, 0.10, 0.02); }
+    if (cls == 3) { EXPECT_GT(cv, 0.2); }
   }
 }
 
@@ -231,10 +231,10 @@ TEST(ExecModel, BadInputsThrow) {
   Rng rng(1);
   MicroserviceType type{ServiceTypeId(0), "t", {10, 10, 10}, 10, ServiceClass{1, 1, 1},
                         ResourceIntensity::kCpu};
-  EXPECT_THROW(model.sample_work(type, 0.0, rng), InvariantError);
+  EXPECT_THROW((void)model.sample_work(type, 0.0, rng), InvariantError);
   MicroserviceType no_time = type;
   no_time.nominal_time = 0;
-  EXPECT_THROW(model.sample_work(no_time, 1.0, rng), InvariantError);
+  EXPECT_THROW((void)model.sample_work(no_time, 1.0, rng), InvariantError);
 }
 
 class RuntimeTest : public ::testing::Test {

@@ -1,0 +1,86 @@
+// Reproducibility: same seed => identical summary metrics, regardless of how
+// many pool threads execute the sweep; different seeds => different streams.
+// (The standalone tools/determinism_check harness byte-diffs full exported
+// event streams; these tests keep the core guarantee inside ctest.)
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "trace/export.h"
+
+namespace vmlp::exp {
+namespace {
+
+std::vector<ExperimentConfig> small_grid() {
+  std::vector<ExperimentConfig> grid;
+  for (const auto scheme : {SchemeKind::kVmlp, SchemeKind::kFairSched}) {
+    for (const std::uint64_t seed : {11ULL, 12ULL}) {
+      ExperimentConfig c;
+      c.scheme = scheme;
+      c.pattern = loadgen::PatternKind::kL1Pulse;
+      c.stream = StreamKind::kMixed;
+      c.seed = seed;
+      c.driver.horizon = 3 * kSec;
+      c.driver.cluster.machine_count = 6;
+      c.driver.interference.enabled = true;
+      c.pattern_params.horizon = c.driver.horizon;
+      c.pattern_params.base_rate = 16.0;
+      c.pattern_params.max_rate = 48.0;
+      c.pattern_params.peak_time = c.driver.horizon / 2;
+      grid.push_back(c);
+    }
+  }
+  return grid;
+}
+
+void expect_identical(const sched::RunResult& a, const sched::RunResult& b) {
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.unfinished, b.unfinished);
+  // Bit-exact, not approximately equal: any drift means hidden shared state.
+  EXPECT_EQ(a.qos_violation_rate, b.qos_violation_rate);
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization);
+  EXPECT_EQ(a.p50_latency_us, b.p50_latency_us);
+  EXPECT_EQ(a.p90_latency_us, b.p90_latency_us);
+  EXPECT_EQ(a.p99_latency_us, b.p99_latency_us);
+  EXPECT_EQ(a.mean_latency_us, b.mean_latency_us);
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+}
+
+TEST(Determinism, GridIdenticalAcrossThreadCounts) {
+  const auto grid = small_grid();
+  const auto serial = run_grid(grid, 1);
+  const auto two = run_grid(grid, 2);
+  const auto wide = run_grid(grid, 8);
+  ASSERT_EQ(serial.size(), grid.size());
+  ASSERT_EQ(two.size(), grid.size());
+  ASSERT_EQ(wide.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i].run, two[i].run);
+    expect_identical(serial[i].run, wide[i].run);
+    EXPECT_EQ(serial[i].utilization_series, two[i].utilization_series);
+    EXPECT_EQ(serial[i].utilization_series, wide[i].utilization_series);
+  }
+}
+
+TEST(Determinism, RepeatedRunIsBitIdentical) {
+  ExperimentConfig c = small_grid().front();
+  const auto a = run_experiment(c);
+  const auto b = run_experiment(c);
+  expect_identical(a.run, b.run);
+  EXPECT_EQ(a.utilization_series, b.utilization_series);
+}
+
+TEST(Determinism, SeedChangesTheStream) {
+  ExperimentConfig c = small_grid().front();
+  const auto a = run_experiment(c);
+  c.seed += 1;
+  const auto b = run_experiment(c);
+  EXPECT_NE(a.run.arrived, b.run.arrived);
+}
+
+}  // namespace
+}  // namespace vmlp::exp

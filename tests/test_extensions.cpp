@@ -70,8 +70,8 @@ TEST_P(P2Accuracy, TracksLognormalDistribution) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy, ::testing::Values(0.1, 0.5, 0.9, 0.99),
-                         [](const auto& info) {
-                           return "q" + std::to_string(static_cast<int>(info.param * 100));
+                         [](const auto& pinfo) {
+                           return "q" + std::to_string(static_cast<int>(pinfo.param * 100));
                          });
 
 TEST(P2Quantile, MonotoneUnderSortedInput) {

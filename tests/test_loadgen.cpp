@@ -54,7 +54,7 @@ TEST_P(PatternsTest, RateSeriesLength) {
 INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternsTest,
                          ::testing::Values(PatternKind::kL1Pulse, PatternKind::kL2Fluctuating,
                                            PatternKind::kL3Periodic),
-                         [](const auto& info) { return pattern_name(info.param); });
+                         [](const auto& pinfo) { return pattern_name(pinfo.param); });
 
 TEST(Patterns, L1IsFlatOutsidePulse) {
   const auto p = WorkloadPattern::make(PatternKind::kL1Pulse, default_params(), 1);
@@ -162,7 +162,7 @@ TEST_F(MixTest, SampleFollowsWeights) {
 TEST_F(MixTest, EmptyMixThrows) {
   RequestMix mix;
   Rng rng(1);
-  EXPECT_THROW(mix.sample(rng), InvariantError);
+  EXPECT_THROW((void)mix.sample(rng), InvariantError);
 }
 
 TEST_F(MixTest, ArrivalsSortedWithinHorizon) {

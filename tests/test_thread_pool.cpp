@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -66,6 +67,55 @@ TEST(ThreadPool, ParallelForRethrowsFirstError) {
                                    if (i == 37) throw std::logic_error("bad index");
                                  }),
                std::logic_error);
+}
+
+TEST(ThreadPool, ShutdownUnderContentionDrainsEveryAcceptedTask) {
+  // Destroy pools while producer threads are mid-submit: every task whose
+  // submit() succeeded must run exactly once, none may be dropped on the
+  // shutdown path. Run under the tsan preset this doubles as a race probe.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    std::atomic<int> submitted{0};
+    {
+      ThreadPool pool(4);
+      std::vector<std::thread> producers;
+      producers.reserve(4);
+      for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&] {
+          for (int i = 0; i < 50; ++i) {
+            try {
+              (void)pool.submit([&ran] { ran.fetch_add(1); });
+              submitted.fetch_add(1);
+            } catch (const std::runtime_error&) {
+              return;  // pool is stopping; acceptable
+            }
+          }
+        });
+      }
+      for (auto& t : producers) t.join();
+    }  // destructor races with the workers draining the queue
+    EXPECT_EQ(ran.load(), submitted.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  // Reach into the shutdown path indirectly: a pool being destroyed flags
+  // stopping_; a fresh pool must still accept work afterwards.
+  { ThreadPool dying(1); }
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForThrowingBodyLeavesPoolUsable) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 64,
+                                   [](std::size_t i) {
+                                     if (i % 16 == 13) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+  }
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
 }
 
 TEST(ThreadPool, SubmitAfterDestructionPatternSafe) {

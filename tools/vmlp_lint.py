@@ -1,0 +1,330 @@
+#!/usr/bin/env python3
+"""vmlp_lint — project-specific correctness lint for the v-MLP simulator.
+
+Enforces repo rules no generic tool knows about:
+
+  [determinism]      All randomness must flow through vmlp::Rng
+                     (src/common/rng.*). rand()/std::random_device/std::mt19937
+                     and friends are implementation-defined or non-reproducible
+                     and would break single-seed reproducibility.
+
+  [unordered-iter]   Iterating an unordered container member is
+                     insertion-history-dependent; when the loop feeds event
+                     ordering, float accumulation, or exported output it
+                     silently breaks run-to-run byte stability. Iterate a
+                     sorted view, or annotate the loop with
+                     `// lint: unordered-ok (<reason>)` when order provably
+                     cannot escape (e.g. results are re-sorted below).
+
+  [relative-include] `#include "../foo.h"` bypasses the include-root layout
+                     (src/); spell module-qualified paths ("cluster/foo.h").
+
+  [mutex-guard-doc]  Every data member of a class that owns a std::mutex must
+                     document its locking discipline with a
+                     `// guarded by <mutex>` or `// not guarded: <reason>`
+                     comment (same line or the line above). Applies to the
+                     concurrency-sensitive modules (common/, monitor/, sim/).
+
+Usage:
+  tools/vmlp_lint.py [--root DIR] [files...]
+With no file arguments, scans src/ and tools/*.cpp under the root.
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# helpers
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure
+    (newlines survive so line numbers stay valid)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i : j + 2]
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in ('"', "'"):
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            out.append(quote + " " * (min(j, n - 1) - i - 1) + quote)
+            i = min(j, n - 1) + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# rule: determinism (banned randomness sources)
+
+BANNED_RANDOM = [
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd\s*::\s*mt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bstd\s*::\s*default_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\bstd\s*::\s*minstd_rand0?\b"), "std::minstd_rand"),
+    (re.compile(r"\bstd\s*::\s*\w+_distribution\b"), "std::<*>_distribution"),
+    (re.compile(r"(?<![\w:.>])rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"(?<![\w:.>])srand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w:.>])drand48\s*\("), "drand48()"),
+    (re.compile(r"(?<![\w:.>])random\s*\(\s*\)"), "random()"),
+]
+
+
+def check_determinism(path: Path, clean_lines: list[str], findings: list[Finding]) -> None:
+    rel = path.as_posix()
+    if "/common/rng." in rel:
+        return  # the one sanctioned home of raw generators
+    for lineno, line in enumerate(clean_lines, 1):
+        for pattern, name in BANNED_RANDOM:
+            if pattern.search(line):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "determinism",
+                        f"{name} breaks single-seed reproducibility; use vmlp::Rng "
+                        "(src/common/rng.h) instead",
+                    )
+                )
+
+
+# --------------------------------------------------------------------------
+# rule: unordered-iter
+
+UNORDERED_DECL = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)\s*(?:;|=|\{)"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([A-Za-z_][\w.\->]*)\s*\)")
+OK_ANNOTATION = re.compile(r"lint:\s*unordered-ok")
+
+
+def module_sources(path: Path) -> list[Path]:
+    """The header/impl pair forming one module (members live in the .h)."""
+    stem = path.with_suffix("")
+    return [p for p in (stem.with_suffix(".h"), stem.with_suffix(".cpp")) if p.is_file()]
+
+
+def check_unordered_iteration(
+    path: Path, raw_lines: list[str], clean_lines: list[str], findings: list[Finding]
+) -> None:
+    # Collect unordered member/local names declared anywhere in this module.
+    names: set[str] = set()
+    for src in module_sources(path) or [path]:
+        body = strip_comments_and_strings(src.read_text(encoding="utf-8"))
+        for m in UNORDERED_DECL.finditer(body):
+            names.add(m.group(1))
+    if not names:
+        return
+    for lineno, line in enumerate(clean_lines, 1):
+        m = RANGE_FOR.search(line)
+        if not m:
+            continue
+        target = m.group(1).split(".")[-1].split("->")[-1]
+        if target not in names:
+            continue
+        raw = raw_lines[lineno - 1]
+        prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+        if OK_ANNOTATION.search(raw) or OK_ANNOTATION.search(prev):
+            continue
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "unordered-iter",
+                f"iteration over unordered container '{target}' is insertion-history-"
+                "dependent; sort first or annotate `// lint: unordered-ok (<reason>)`",
+            )
+        )
+
+
+# --------------------------------------------------------------------------
+# rule: relative-include
+
+RELATIVE_INCLUDE = re.compile(r'#\s*include\s+"\.\.?/')
+
+
+def check_relative_include(path: Path, raw_lines: list[str], findings: list[Finding]) -> None:
+    for lineno, line in enumerate(raw_lines, 1):
+        if RELATIVE_INCLUDE.search(line):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "relative-include",
+                    'relative #include path; use the module-qualified form '
+                    '("cluster/machine.h") rooted at src/',
+                )
+            )
+
+
+# --------------------------------------------------------------------------
+# rule: mutex-guard-doc
+
+GUARD_SCOPE = ("/common/", "/monitor/", "/sim/")
+CLASS_OPEN = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*\{")
+MUTEX_MEMBER = re.compile(r"(?:std\s*::\s*)?(?:mutex|shared_mutex|recursive_mutex)\s+(\w+)\s*;")
+MEMBER_DECL = re.compile(
+    r"^\s+(?!return|if|for|while|switch|case|using|typedef|friend|static_assert|public|private|"
+    r"protected|template|explicit|virtual|operator|else|do|break|continue|goto|namespace|throw)"
+    r"[A-Za-z_][\w:<>,.*&\s()\[\]]*?[\s&*]"
+    r"(\w+_)\s*(?:=[^;]*|\{[^;]*\})?;"
+)
+GUARD_DOC = re.compile(r"(guarded by\s+\w+|not guarded\s*:)", re.IGNORECASE)
+CV_MEMBER = re.compile(r"condition_variable(_any)?\s+\w+\s*;")
+
+
+def class_bodies(clean_text: str):
+    """Yield (start_line, end_line, body_lines) for each top-level-ish class."""
+    lines = clean_text.split("\n")
+    text = clean_text
+    for m in CLASS_OPEN.finditer(text):
+        open_idx = text.index("{", m.start())
+        depth = 0
+        close_idx = None
+        for i in range(open_idx, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    close_idx = i
+                    break
+        if close_idx is None:
+            continue
+        start_line = text.count("\n", 0, open_idx) + 1
+        end_line = text.count("\n", 0, close_idx) + 1
+        yield start_line, end_line, lines[start_line - 1 : end_line]
+
+
+def check_mutex_guard_doc(
+    path: Path, raw_lines: list[str], clean_text: str, findings: list[Finding]
+) -> None:
+    rel = path.as_posix()
+    if not any(scope in rel for scope in GUARD_SCOPE):
+        return
+    for start_line, _end, body in class_bodies(clean_text):
+        mutexes = [m.group(1) for line in body for m in MUTEX_MEMBER.finditer(line)]
+        if not mutexes:
+            continue
+        for offset, line in enumerate(body):
+            lineno = start_line + offset
+            if MUTEX_MEMBER.search(line) or CV_MEMBER.search(line):
+                continue  # the lock itself / its condition need no guard note
+            m = MEMBER_DECL.match(line)
+            if not m:
+                continue
+            doc_block = raw_lines[lineno - 1]
+            k = lineno - 2  # walk the contiguous comment block above the member
+            while k >= 0 and raw_lines[k].lstrip().startswith("//"):
+                doc_block += "\n" + raw_lines[k]
+                k -= 1
+            if GUARD_DOC.search(doc_block):
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "mutex-guard-doc",
+                    f"member '{m.group(1)}' of a mutex-owning class lacks a locking note; "
+                    f"add `// guarded by {mutexes[0]}` or `// not guarded: <reason>`",
+                )
+            )
+
+
+# --------------------------------------------------------------------------
+# driver
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8")
+    raw_lines = raw.split("\n")
+    clean = strip_comments_and_strings(raw)
+    clean_lines = clean.split("\n")
+    findings: list[Finding] = []
+    check_determinism(path, clean_lines, findings)
+    check_unordered_iteration(path, raw_lines, clean_lines, findings)
+    check_relative_include(path, raw_lines, findings)
+    check_mutex_guard_doc(path, raw_lines, clean, findings)
+    return findings
+
+
+def default_targets(root: Path) -> list[Path]:
+    targets = sorted(root.glob("src/**/*.h")) + sorted(root.glob("src/**/*.cpp"))
+    targets += sorted(root.glob("tools/*.cpp"))
+    return targets
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, add_help=True)
+    parser.add_argument("--root", default=".", help="repository root (default: cwd)")
+    parser.add_argument("files", nargs="*", help="specific files (default: src/, tools/)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    if args.files:
+        targets = [Path(f).resolve() for f in args.files]
+    else:
+        targets = default_targets(root)
+    if not targets:
+        print("vmlp_lint: no input files found", file=sys.stderr)
+        return 2
+
+    all_findings: list[Finding] = []
+    for path in targets:
+        if not path.is_file():
+            print(f"vmlp_lint: no such file: {path}", file=sys.stderr)
+            return 2
+        all_findings.extend(lint_file(path))
+
+    for f in all_findings:
+        try:
+            rel = f.path.relative_to(root)
+        except ValueError:
+            rel = f.path
+        print(f"{rel}:{f.line}: [{f.rule}] {f.message}")
+    if all_findings:
+        print(f"vmlp_lint: {len(all_findings)} finding(s) in {len(targets)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"vmlp_lint: clean ({len(targets)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
