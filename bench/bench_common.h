@@ -37,4 +37,13 @@ inline exp::ExperimentResult run_with_progress(const exp::ExperimentConfig& conf
   return exp::run_experiment(config);
 }
 
+/// Representative single cell of a fig benchmark at a perf-harness-sized
+/// horizon: same cluster/streams as the figure, short enough that a timing
+/// run fits in a CI job. Used by perf_harness for wall-clock tracking.
+inline exp::ExperimentConfig perf_scenario_config(exp::SchemeKind scheme,
+                                                  loadgen::PatternKind pattern,
+                                                  exp::StreamKind stream) {
+  return eval_config(scheme, pattern, stream, 10 * kSec);
+}
+
 }  // namespace vmlp::bench

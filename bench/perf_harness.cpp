@@ -1,0 +1,201 @@
+// perf_harness — the repo's performance-regression probe.
+//
+// Times the three layers the perf architecture is built on and emits
+// machine-readable BENCH_core.json for CI trend tracking (see
+// tools/bench_compare.py and the `bench` CI job):
+//
+//   1. engine.*    — event-engine microbenchmark: a self-sustaining event
+//                    cascade with driver-like reschedule/cancel churn;
+//                    reports events/sec (the regression-gated metric).
+//   2. scenario.*  — representative cells of fig10/fig13/fig14 at a
+//                    harness-sized horizon; reports wall-ms per scenario.
+//   3. trials.*    — parallel trial sharding of a fig13-style cell at
+//                    1/4/8 pool threads; reports trials/sec and the 8-thread
+//                    speedup, and byte-verifies that the merged output is
+//                    identical across thread counts.
+//
+// Usage: perf_harness [output.json]   (default: BENCH_core.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "exp/trial_runner.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace vmlp;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_sec(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---- 1. event-engine microbenchmark ---------------------------------------
+
+/// Self-sustaining cascade: every fired event schedules a successor, and a
+/// sliding window of live handles receives the reschedule/cancel churn the
+/// driver's re-rating produces (≈1 reschedule per firing, occasional cancel).
+class EngineCascade {
+ public:
+  explicit EngineCascade(std::uint64_t budget) : budget_(budget) {
+    live_.resize(64);
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      live_[i] = engine_.schedule_at(static_cast<SimTime>(rng_.uniform_int(0, 1000)),
+                                     [this] { fire(); });
+    }
+  }
+
+  std::uint64_t run() {
+    engine_.run_all();
+    return engine_.executed_events();
+  }
+
+ private:
+  void fire() {
+    if (engine_.executed_events() >= budget_) return;
+    const auto slot = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(live_.size()) - 1));
+    // Successor keeps the cascade alive; it replaces a window slot.
+    live_[slot] = engine_.schedule_after(1 + rng_.uniform_int(0, 1000), [this] { fire(); });
+    // Driver-like churn: move one pending event, rarely cancel-and-replace.
+    const auto victim = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(live_.size()) - 1));
+    if (rng_.uniform() < 0.125) {
+      if (engine_.cancel(live_[victim])) {
+        live_[victim] =
+            engine_.schedule_after(1 + rng_.uniform_int(0, 1000), [this] { fire(); });
+      }
+    } else {
+      engine_.reschedule_after(live_[victim], 1 + rng_.uniform_int(0, 1000));
+    }
+  }
+
+  sim::Engine engine_;
+  Rng rng_{2022};
+  std::uint64_t budget_;
+  std::vector<sim::EventHandle> live_;
+};
+
+double bench_engine_events_per_sec(std::uint64_t budget) {
+  EngineCascade cascade(budget);
+  const auto start = Clock::now();
+  const std::uint64_t executed = cascade.run();
+  const double sec = elapsed_sec(start);
+  return static_cast<double>(executed) / sec;
+}
+
+// ---- 3. trial sharding ----------------------------------------------------
+
+exp::TrialSpec trial_spec() {
+  // A fig13-style cell heavy enough (~50-100 ms/trial) that sharding
+  // overhead is negligible against per-trial work. Arrival rates scale with
+  // the reduced cluster (the eval_config defaults target 100 machines).
+  exp::TrialSpec spec;
+  spec.base = bench::eval_config(exp::SchemeKind::kVmlp, loadgen::PatternKind::kL2Fluctuating,
+                                 exp::StreamKind::kHighVr, 10 * kSec);
+  spec.base.driver.cluster.machine_count = 10;
+  spec.base.qps_scale = 0.1;
+  spec.trials = 8;
+  spec.base_seed = 2022;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_core.json";
+  std::vector<std::pair<std::string, double>> metrics;
+
+  // 1. Engine microbenchmark: warm-up pass, then the measured pass.
+  std::fprintf(stderr, "engine microbenchmark...\n");
+  (void)bench_engine_events_per_sec(50000);
+  const double events_per_sec = bench_engine_events_per_sec(400000);
+  metrics.emplace_back("engine.events_per_sec", events_per_sec);
+  std::fprintf(stderr, "  %.0f events/sec\n", events_per_sec);
+
+  // 2. Representative fig scenarios (one cell each, harness-sized horizon).
+  struct Scenario {
+    const char* name;
+    vmlp::exp::ExperimentConfig config;
+  };
+  const Scenario scenarios[] = {
+      {"fig10_qos",
+       vmlp::bench::perf_scenario_config(vmlp::exp::SchemeKind::kVmlp,
+                                         vmlp::loadgen::PatternKind::kL1Pulse,
+                                         vmlp::exp::StreamKind::kMixed)},
+      {"fig13_tail",
+       vmlp::bench::perf_scenario_config(vmlp::exp::SchemeKind::kVmlp,
+                                         vmlp::loadgen::PatternKind::kL2Fluctuating,
+                                         vmlp::exp::StreamKind::kHighVr)},
+      {"fig14_throughput",
+       vmlp::bench::perf_scenario_config(vmlp::exp::SchemeKind::kFairSched,
+                                         vmlp::loadgen::PatternKind::kL3Periodic,
+                                         vmlp::exp::StreamKind::kMixed)},
+  };
+  for (const Scenario& s : scenarios) {
+    std::fprintf(stderr, "scenario %s...\n", s.name);
+    const auto start = Clock::now();
+    const auto result = vmlp::exp::run_experiment(s.config);
+    const double wall_ms = elapsed_sec(start) * 1000.0;
+    metrics.emplace_back(std::string("scenario.") + s.name + ".wall_ms", wall_ms);
+    metrics.emplace_back(std::string("scenario.") + s.name + ".completed",
+                         static_cast<double>(result.run.completed));
+    std::fprintf(stderr, "  %.1f ms (%zu completed)\n", wall_ms, result.run.completed);
+  }
+
+  // 3. Trial sharding at 1/4/8 threads, with a cross-thread-count byte check.
+  const vmlp::exp::TrialSpec spec = trial_spec();
+  std::string merged_at_one;
+  double trials_per_sec_at_one = 0.0;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    std::fprintf(stderr, "trial sharding at %zu thread(s)...\n", threads);
+    const auto start = Clock::now();
+    const auto result = vmlp::exp::run_trials(spec, threads);
+    const double sec = elapsed_sec(start);
+    const double trials_per_sec = static_cast<double>(spec.trials) / sec;
+    const std::string key = "trials.t" + std::to_string(threads);
+    metrics.emplace_back(key + ".trials_per_sec", trials_per_sec);
+    std::fprintf(stderr, "  %.2f trials/sec\n", trials_per_sec);
+
+    const std::string merged = vmlp::exp::format_trial_set(result);
+    if (threads == 1) {
+      merged_at_one = merged;
+      trials_per_sec_at_one = trials_per_sec;
+    } else {
+      if (merged != merged_at_one) {
+        std::cerr << "FAIL: merged trial output at " << threads
+                  << " threads differs from the 1-thread run\n";
+        return 1;
+      }
+      metrics.emplace_back(key + ".speedup_vs_t1", trials_per_sec / trials_per_sec_at_one);
+    }
+  }
+
+  // Emit BENCH_core.json (key order fixed; bench_compare.py consumes it).
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "FAIL: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << std::setprecision(12);
+  out << "{\n  \"schema\": \"vmlp-bench-core/v1\",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out << "    \"" << metrics[i].first << "\": " << metrics[i].second
+        << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  out.close();
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

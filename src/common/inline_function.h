@@ -1,0 +1,148 @@
+// InlineFunction: a move-only callable wrapper with small-buffer storage.
+//
+// The hot paths of the simulator create and destroy callables at very high
+// rate — every scheduled event and every thread-pool task wraps one. A
+// std::function would heap-allocate any capture list larger than its tiny
+// (implementation-defined, typically 16-byte) internal buffer, which covers
+// almost none of the driver's event closures ([this, rid, node] is already
+// 24 bytes). InlineFunction stores callables up to kInlineCapacity bytes
+// in-place and only falls back to the heap beyond that, so the engine's
+// event pool and ThreadPool::parallel_for run allocation-free in the common
+// case.
+//
+// Semantics: move-only (no copies — targets may own move-only state such as
+// std::packaged_task), nullable, and callable exactly like std::function.
+// Invoking an empty InlineFunction throws InvariantError.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.h"
+
+namespace vmlp {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kInlineCapacity = Capacity;
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &OpsFor<D, true>::kOps;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &OpsFor<D, false>::kOps;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    VMLP_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineFunction");
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the target lives in the inline buffer (no heap allocation).
+  /// Observability hook for tests; meaningless on an empty function.
+  [[nodiscard]] bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  struct Ops {
+    R (*invoke)(unsigned char*, Args&&...);
+    void (*relocate)(unsigned char* dst, unsigned char* src);  // move + destroy src
+    void (*destroy)(unsigned char*);
+    bool inline_storage;
+  };
+
+  template <typename D, bool Inline>
+  struct OpsFor {
+    static D& target(unsigned char* s) {
+      if constexpr (Inline) {
+        return *std::launder(reinterpret_cast<D*>(s));
+      } else {
+        return **std::launder(reinterpret_cast<D**>(s));
+      }
+    }
+    static R invoke(unsigned char* s, Args&&... args) {
+      return target(s)(std::forward<Args>(args)...);
+    }
+    static void relocate(unsigned char* dst, unsigned char* src) {
+      if constexpr (Inline) {
+        ::new (static_cast<void*>(dst)) D(std::move(target(src)));
+        target(src).~D();
+      } else {
+        ::new (static_cast<void*>(dst)) D*(*std::launder(reinterpret_cast<D**>(src)));
+      }
+    }
+    static void destroy(unsigned char* s) {
+      if constexpr (Inline) {
+        target(s).~D();
+      } else {
+        delete *std::launder(reinterpret_cast<D**>(s));
+      }
+    }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy, Inline};
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace vmlp

@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 namespace vmlp {
@@ -27,9 +26,18 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -51,25 +59,49 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunks = std::min(n, thread_count() * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+  // Completion state lives on the caller's stack; chunk tasks capture a
+  // pointer to it plus an index pair, staying within Task's inline buffer —
+  // no futures, no shared_ptr control blocks, no per-chunk allocation.
+  struct BatchState {
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;  // guarded by m
+  };
+  BatchState state;
+
+  std::size_t launched = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     if (lo >= end) break;
+    ++launched;
+  }
+  state.remaining = launched;
+
+  for (std::size_t c = 0; c < launched; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
+    enqueue(Task([&state, &body, lo, hi] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      // Decrement and notify under one lock hold: the moment `remaining`
+      // reaches 0 with the mutex released, the caller may wake (even
+      // spuriously), return, and destroy `state` — so the notify must not
+      // touch `state` after that point.
+      std::lock_guard<std::mutex> lock(state.m);
+      if (error && !state.first_error) state.first_error = error;
+      --state.remaining;
+      if (state.remaining == 0) state.done_cv.notify_one();
     }));
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+
+  std::unique_lock<std::mutex> lock(state.m);
+  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 }  // namespace vmlp

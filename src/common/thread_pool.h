@@ -1,9 +1,14 @@
 // Fixed-size thread pool used to run experiment sweeps in parallel.
 //
 // The simulator itself is single-threaded per run (determinism); parallelism
-// lives at the sweep level: one simulation per task, one deterministic seed
-// per cell. parallel_for partitions an index range across the pool and blocks
-// until every chunk completes, rethrowing the first exception raised.
+// lives at the sweep/trial level: one simulation per task, one deterministic
+// seed per cell. parallel_for partitions an index range across the pool and
+// blocks until every chunk completes, rethrowing the first exception raised.
+//
+// Task storage is an InlineFunction with a small buffer, so the common-case
+// submission (a parallel_for chunk: a pointer to shared state plus a pair of
+// indices) enqueues without touching the heap. submit() still returns a
+// future; its packaged_task shared state is the only allocation on that path.
 #pragma once
 
 #include <condition_variable>
@@ -15,10 +20,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/inline_function.h"
+
 namespace vmlp {
 
 class ThreadPool {
  public:
+  /// Move-only small-buffer task; chunk closures stay allocation-free.
+  using Task = InlineFunction<void(), 48>;
+
   /// threads == 0 means hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -32,29 +42,26 @@ class ThreadPool {
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
-    std::future<R> future = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    std::packaged_task<R()> task(std::forward<F>(f));
+    std::future<R> future = task.get_future();
+    enqueue(Task([t = std::move(task)]() mutable { t(); }));
     return future;
   }
 
   /// Run body(i) for i in [begin, end) across the pool; blocks until done.
-  /// Rethrows the first exception. Chunked to limit task overhead.
+  /// Rethrows the first exception. Chunked to limit task overhead; chunk
+  /// tasks are stored inline (no per-chunk allocation).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
  private:
+  void enqueue(Task task);
   void worker_loop();
 
   // not guarded: written once in the constructor, joined in the destructor;
   // never touched by worker threads.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  std::deque<Task> queue_;  // guarded by mutex_
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;  // guarded by mutex_

@@ -1,0 +1,108 @@
+#include "exp/trial_runner.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "loadgen/patterns.h"
+
+namespace vmlp::exp {
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t trial) {
+  return Rng(base_seed).fork(static_cast<std::uint64_t>(trial)).seed();
+}
+
+namespace {
+
+/// Fold one metric across trials in index order (fixed accumulation order).
+template <typename Getter>
+MetricSummary summarize(const std::vector<TrialRow>& trials, Getter get) {
+  MetricSummary s;
+  if (trials.empty()) return s;
+  double sum = 0.0;
+  s.min = get(trials.front());
+  s.max = s.min;
+  for (const TrialRow& t : trials) {
+    const double v = get(t);
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(trials.size());
+  return s;
+}
+
+}  // namespace
+
+TrialSetResult run_trials(const TrialSpec& spec, std::size_t threads) {
+  VMLP_CHECK_MSG(spec.trials > 0, "trial set must contain at least one trial");
+
+  TrialSetResult result;
+  result.trials.resize(spec.trials);
+  {
+    ThreadPool pool(threads);
+    pool.parallel_for(0, spec.trials, [&](std::size_t i) {
+      ExperimentConfig config = spec.base;
+      config.seed = trial_seed(spec.base_seed, i);
+      TrialRow row;
+      row.index = i;
+      row.seed = config.seed;
+      row.run = run_experiment(config).run;
+      result.trials[i] = std::move(row);
+    });
+  }
+
+  for (const TrialRow& t : result.trials) {
+    result.total_arrived += t.run.arrived;
+    result.total_completed += t.run.completed;
+    result.total_unfinished += t.run.unfinished;
+  }
+  result.qos_violation_rate =
+      summarize(result.trials, [](const TrialRow& t) { return t.run.qos_violation_rate; });
+  result.mean_utilization =
+      summarize(result.trials, [](const TrialRow& t) { return t.run.mean_utilization; });
+  result.p50_latency_us =
+      summarize(result.trials, [](const TrialRow& t) { return t.run.p50_latency_us; });
+  result.p90_latency_us =
+      summarize(result.trials, [](const TrialRow& t) { return t.run.p90_latency_us; });
+  result.p99_latency_us =
+      summarize(result.trials, [](const TrialRow& t) { return t.run.p99_latency_us; });
+  result.mean_latency_us =
+      summarize(result.trials, [](const TrialRow& t) { return t.run.mean_latency_us; });
+  result.throughput_rps =
+      summarize(result.trials, [](const TrialRow& t) { return t.run.throughput_rps; });
+  return result;
+}
+
+std::string format_trial_set(const TrialSetResult& result) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (const TrialRow& t : result.trials) {
+    os << "trial " << t.index << " seed=" << t.seed << ": arrived=" << t.run.arrived
+       << " completed=" << t.run.completed << " unfinished=" << t.run.unfinished
+       << " qos=" << t.run.qos_violation_rate << " util=" << t.run.mean_utilization
+       << " p50=" << t.run.p50_latency_us << " p90=" << t.run.p90_latency_us
+       << " p99=" << t.run.p99_latency_us << " mean=" << t.run.mean_latency_us
+       << " thr=" << t.run.throughput_rps << '\n';
+  }
+  const auto emit = [&os](const char* name, const MetricSummary& s) {
+    os << "summary " << name << ": mean=" << s.mean << " min=" << s.min << " max=" << s.max
+       << '\n';
+  };
+  os << "summary totals: arrived=" << result.total_arrived
+     << " completed=" << result.total_completed << " unfinished=" << result.total_unfinished
+     << '\n';
+  emit("qos", result.qos_violation_rate);
+  emit("util", result.mean_utilization);
+  emit("p50", result.p50_latency_us);
+  emit("p90", result.p90_latency_us);
+  emit("p99", result.p99_latency_us);
+  emit("mean_latency", result.mean_latency_us);
+  emit("throughput", result.throughput_rps);
+  return os.str();
+}
+
+}  // namespace vmlp::exp

@@ -1,0 +1,75 @@
+// Parallel trial runner: shard repeated trials (seed replicas) of one
+// experiment configuration across a ThreadPool.
+//
+// The paper's evaluation repeats every (scheme, pattern, stream) cell over
+// multiple seeds; sweeps dominate evaluation cost, so trials are the unit of
+// parallelism (the simulator itself stays single-threaded per run).
+//
+// Determinism contract — N-thread and 1-thread runs are byte-identical:
+//  * Seed splitting: trial i draws its seed from the base seed via
+//    Rng::fork(i) (SplitMix64 over seed + odd-constant * (i+1)), never from
+//    shared RNG state, so streams are independent of execution order.
+//  * Each trial is a pure function of its config (run_experiment owns its
+//    whole world per run).
+//  * Results land in a pre-sized vector by trial index, and every aggregate
+//    is folded in index order after the pool joins — float accumulation
+//    order is fixed regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace vmlp::exp {
+
+/// Seed for trial `trial` derived from `base_seed` by stream splitting.
+/// Distinct, order-independent, and decorrelated between adjacent trials.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t trial);
+
+struct TrialSpec {
+  ExperimentConfig base;       ///< per-trial config; `seed` is overridden
+  std::size_t trials = 8;
+  std::uint64_t base_seed = 1;
+};
+
+/// One trial's outcome, tagged with its index and derived seed.
+struct TrialRow {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  sched::RunResult run;
+};
+
+/// Mean/min/max of one metric across trials (folded in trial-index order).
+struct MetricSummary {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Deterministic ordered merge of the per-trial results.
+struct TrialSetResult {
+  std::vector<TrialRow> trials;  ///< in trial-index order
+  std::size_t total_arrived = 0;
+  std::size_t total_completed = 0;
+  std::size_t total_unfinished = 0;
+  MetricSummary qos_violation_rate;
+  MetricSummary mean_utilization;
+  MetricSummary p50_latency_us;
+  MetricSummary p90_latency_us;
+  MetricSummary p99_latency_us;
+  MetricSummary mean_latency_us;
+  MetricSummary throughput_rps;
+};
+
+/// Run `spec.trials` independent trials on a `threads`-wide pool
+/// (0 = hardware concurrency) and merge. The merged result is byte-stable
+/// across thread counts; a throwing trial propagates its first exception.
+TrialSetResult run_trials(const TrialSpec& spec, std::size_t threads = 1);
+
+/// Canonical full-precision text form of a merged trial set — the byte
+/// stream the determinism harness compares across thread counts.
+std::string format_trial_set(const TrialSetResult& result);
+
+}  // namespace vmlp::exp

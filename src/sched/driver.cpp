@@ -27,7 +27,11 @@ SimulationDriver::SimulationDriver(const app::Application& application, ISchedul
       rng_(Rng(params.seed).fork("exec")),
       rng_interference_(Rng(params.seed).fork("interference")) {
   VMLP_CHECK_MSG(params.horizon > 0 && params.tick > 0, "bad driver timing params");
-  for (const auto& rt : app_.requests()) qos_.set_slo(rt.id(), rt.slo());
+  volatility_cache_.resize(app_.request_count(), 0.0);
+  for (const auto& rt : app_.requests()) {
+    qos_.set_slo(rt.id(), rt.slo());
+    volatility_cache_[rt.id().value()] = app_.volatility(rt.id());
+  }
   if (params_.profile_warmup > 0) warmup_profiles();
 }
 
@@ -86,7 +90,10 @@ std::vector<std::pair<RequestId, std::size_t>> SimulationDriver::running_on(
     MachineId machine) const {
   auto it = running_on_.find(machine.value());
   if (it == running_on_.end()) return {};
-  return it->second;
+  std::vector<std::pair<RequestId, std::size_t>> out;
+  out.reserve(it->second.size());
+  for (const RunningRef& r : it->second) out.emplace_back(r.id, r.node);
+  return out;
 }
 
 SimDuration SimulationDriver::expected_comm(MachineId a, MachineId b) const {
@@ -102,7 +109,10 @@ SimDuration SimulationDriver::expected_comm(MachineId a, MachineId b) const {
   }
 }
 
-double SimulationDriver::volatility(RequestTypeId type) const { return app_.volatility(type); }
+double SimulationDriver::volatility(RequestTypeId type) const {
+  VMLP_CHECK_MSG(type.value() < volatility_cache_.size(), "unknown request type");
+  return volatility_cache_[type.value()];
+}
 
 void SimulationDriver::audit_machine_conservation(MachineId machine) const {
   if (!audit::enabled()) return;
@@ -202,12 +212,15 @@ void SimulationDriver::schedule_start_attempt(ActiveRequest& ar, std::size_t nod
     // conservative plan may start early — start_node() admits the early
     // start only if the machine has the spare budget right then.
     const SimTime start_at = std::max(engine_.now(), dn.startable_at);
-    if (dn.start_event.valid()) engine_.cancel(dn.start_event);
-    dn.start_event = engine_.schedule_at(start_at, [this, rid, node] { start_node(rid, node); });
+    // Fast path: move the pending start event instead of cancel+recreate —
+    // the stored callback is identical, only the key changes.
+    if (!engine_.reschedule(dn.start_event, start_at)) {
+      dn.start_event = engine_.schedule_at(start_at, [this, rid, node] { start_node(rid, node); });
+    }
     // Starting later than planned leaves a resource vacancy: self-healing
     // territory.
-    if (start_at > dn.planned_start && dn.planned_start >= engine_.now()) {
-      if (dn.late_event.valid()) engine_.cancel(dn.late_event);
+    if (start_at > dn.planned_start && dn.planned_start >= engine_.now() &&
+        !engine_.reschedule(dn.late_event, dn.planned_start)) {
       dn.late_event = engine_.schedule_at(dn.planned_start, [this, rid, node] {
         ActiveRequest* r = find_request(rid);
         if (r == nullptr) return;
@@ -313,7 +326,7 @@ void SimulationDriver::start_node(RequestId id, std::size_t node) {
     dn.late_event = {};
   }
 
-  running_on_[dn.machine.value()].emplace_back(id, node);
+  running_on_[dn.machine.value()].push_back(RunningRef{id, node, ar});
   recompute_machine(dn.machine);
   scheduler_.on_node_started(id, node);
 }
@@ -358,23 +371,25 @@ void SimulationDriver::recompute_machine(MachineId machine) {
       total.io > cap.io ? cap.io / total.io : 1.0,
   };
 
-  for (const auto& [rid, node] : it->second) {
-    ActiveRequest* ar = find_request(rid);
-    DriverNode& dn = ar->nodes[node];
+  for (const RunningRef& ref : it->second) {
+    DriverNode& dn = ref.ar->nodes[ref.node];
     advance_instance(dn, t);
-    const auto& req_node = ar->runtime.type().nodes()[node];
+    const auto& req_node = ref.ar->runtime.type().nodes()[ref.node];
     const auto& type = app_.service(req_node.service);
     const cluster::ResourceVector effective{dn.limit.cpu * scale.cpu, dn.limit.mem * scale.mem,
                                             dn.limit.io * scale.io};
     dn.rate = instance_rate(type, dn, effective);
-    if (dn.finish_event.valid()) engine_.cancel(dn.finish_event);
     const auto remaining_time = static_cast<SimDuration>(
         std::ceil(dn.remaining_work / dn.rate));
-    const RequestId rid_copy = rid;
-    const std::size_t node_copy = node;
-    dn.finish_event = engine_.schedule_after(
-        std::max<SimDuration>(remaining_time, dn.remaining_work > 0 ? 1 : 0),
-        [this, rid_copy, node_copy] { finish_node(rid_copy, node_copy); });
+    const auto delay = std::max<SimDuration>(remaining_time, dn.remaining_work > 0 ? 1 : 0);
+    // Decrease-key fast path: the finish callback is invariant per node, so
+    // a re-rate only moves the already-queued event.
+    if (!engine_.reschedule_after(dn.finish_event, delay)) {
+      const RequestId rid = ref.id;
+      const std::size_t node = ref.node;
+      dn.finish_event =
+          engine_.schedule_after(delay, [this, rid, node] { finish_node(rid, node); });
+    }
   }
 }
 
@@ -398,7 +413,9 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
 
   // Tear down the container and the remaining reservation window.
   auto& vec = running_on_[dn.machine.value()];
-  vec.erase(std::remove(vec.begin(), vec.end(), std::make_pair(id, node)), vec.end());
+  vec.erase(std::remove_if(vec.begin(), vec.end(),
+                           [&](const RunningRef& r) { return r.id == id && r.node == node; }),
+            vec.end());
   cluster::Machine& m = cluster_.machine(dn.machine);
   m.remove_container(dn.container);
   release_reservation_tail(*ar, node, t);

@@ -241,11 +241,25 @@ class SimulationDriver {
   monitor::ClusterMonitor monitor_;
   stats::QosTracker qos_;
 
+  /// One running instance on a machine. Caches the ActiveRequest pointer so
+  /// the per-firing re-rate loop in recompute_machine() skips the request
+  /// hash lookup; the pointer is stable (requests_ holds unique_ptrs) and the
+  /// entry is removed in finish_node() before the request itself is erased.
+  struct RunningRef {
+    RequestId id;
+    std::size_t node;
+    ActiveRequest* ar;
+  };
+
   Rng rng_;               // execution sampling
   Rng rng_interference_;  // interference injection stream
   std::unordered_map<RequestId, std::unique_ptr<ActiveRequest>> requests_;
-  /// machine id -> running (request, node) pairs placed there.
-  std::unordered_map<std::uint32_t, std::vector<std::pair<RequestId, std::size_t>>> running_on_;
+  /// machine id -> running instances placed there.
+  std::unordered_map<std::uint32_t, std::vector<RunningRef>> running_on_;
+  /// V_r per request type id, precomputed once: the lookup is hot in the
+  /// self-organizing module's per-placement scoring and was previously
+  /// recomputed from the service classes on every call.
+  std::vector<double> volatility_cache_;
   std::vector<RequestId> arrival_order_;
   std::uint64_t next_request_ = 0;
   std::uint64_t next_instance_ = 0;

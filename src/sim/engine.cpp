@@ -1,21 +1,107 @@
 #include "sim/engine.h"
 
+#include <utility>
+
 #include "common/audit.h"
 #include "common/error.h"
 
 namespace vmlp::sim {
 
+namespace {
+
+/// Handle ids pack (generation << 32) | slot. Generations cycle through
+/// [1, 2^31-1]: never zero (0 marks a free slot / invalid handle) and never
+/// touching bit 63 (the periodic-series tag bit).
+std::uint64_t pack_id(std::uint64_t generation, std::uint32_t slot) {
+  const std::uint64_t gen = (generation % 0x7fffffffULL) + 1;
+  return (gen << 32) | slot;
+}
+
+}  // namespace
+
+std::uint32_t Engine::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  Event& e = pool_[slot];
+  e.id = 0;
+  e.heap_pos = kNoHeapPos;
+  e.fn = nullptr;  // release closure resources; inline storage stays pooled
+  free_slots_.push_back(slot);
+}
+
+void Engine::sift_up(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!before(slot, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pool_[heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  pool_[slot].heap_pos = pos;
+}
+
+void Engine::sift_down(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    std::uint32_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], slot)) break;
+    heap_[pos] = heap_[child];
+    pool_[heap_[pos]].heap_pos = pos;
+    pos = child;
+  }
+  heap_[pos] = slot;
+  pool_[slot].heap_pos = pos;
+}
+
+void Engine::heap_insert(std::uint32_t slot) {
+  heap_.push_back(slot);
+  sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
+}
+
+void Engine::heap_remove(std::uint32_t slot) {
+  const std::uint32_t pos = pool_[slot].heap_pos;
+  VMLP_AUDIT_ASSERT(pos < heap_.size() && heap_[pos] == slot,
+                    "indexed heap position out of sync for slot " << slot);
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (last != slot) {
+    heap_[pos] = last;
+    pool_[last].heap_pos = pos;
+    // The replacement may need to move either direction relative to pos.
+    sift_up(pos);
+    sift_down(pool_[last].heap_pos);
+  }
+  pool_[slot].heap_pos = kNoHeapPos;
+}
+
 EventHandle Engine::schedule_at(SimTime t, Callback fn) {
   VMLP_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
-  VMLP_CHECK_MSG(fn != nullptr, "null event callback");
+  VMLP_CHECK_MSG(static_cast<bool>(fn), "null event callback");
   // A plan that propagated kTimeInfinity (e.g. a failed earliest_fit search)
   // must never reach the event queue — it would freeze simulated time at the
   // horizon with the event perpetually pending.
   VMLP_AUDIT_ASSERT(t < kTimeInfinity, "event scheduled at infinity (unresolved plan time)");
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return EventHandle{id};
+  const std::uint32_t slot = acquire_slot();
+  Event& e = pool_[slot];
+  e.time = t;
+  e.seq = next_seq_++;
+  e.id = pack_id(next_generation_++, slot);
+  e.fn = std::move(fn);
+  heap_insert(slot);
+  return EventHandle{e.id};
 }
 
 EventHandle Engine::schedule_after(SimDuration delay, Callback fn) {
@@ -25,70 +111,95 @@ EventHandle Engine::schedule_after(SimDuration delay, Callback fn) {
 
 EventHandle Engine::schedule_periodic(SimTime start, SimDuration period, Callback fn) {
   VMLP_CHECK_MSG(period > 0, "periodic period must be positive");
-  VMLP_CHECK_MSG(fn != nullptr, "null periodic callback");
-  const std::uint64_t id = next_id_++;
-  periodics_.emplace(id, PeriodicState{period, std::move(fn)});
-  schedule_periodic_next(id, start);
-  return EventHandle{id};
+  VMLP_CHECK_MSG(static_cast<bool>(fn), "null periodic callback");
+  const std::uint64_t series_id = kPeriodicBit | ++next_series_;
+  auto shared = std::make_shared<Callback>(std::move(fn));
+  periodics_.emplace(series_id,
+                     PeriodicState{period, [shared] { (*shared)(); }, EventHandle{}});
+  arm_periodic(series_id, start);
+  return EventHandle{series_id};
 }
 
-void Engine::schedule_periodic_next(std::uint64_t series_id, SimTime t) {
-  queue_.push(Entry{t, next_seq_++, series_id});
-  callbacks_[series_id] = [this, series_id] {
-    auto it = periodics_.find(series_id);
-    if (it == periodics_.end()) return;
+void Engine::arm_periodic(std::uint64_t series_id, SimTime t) {
+  auto it = periodics_.find(series_id);
+  VMLP_CHECK(it != periodics_.end());
+  it->second.occurrence = schedule_at(t, [this, series_id] {
+    auto sit = periodics_.find(series_id);
+    if (sit == periodics_.end()) return;
     // Re-arm before running the body so the body may cancel the series.
-    const SimTime next = now_ + it->second.period;
-    Callback body = it->second.fn;  // copy: body may cancel and erase state
-    schedule_periodic_next(series_id, next);
+    const SimTime next = now_ + sit->second.period;
+    std::function<void()> body = sit->second.fn;  // copy: body may cancel and erase state
+    arm_periodic(series_id, next);
     body();
-  };
+  });
 }
 
 bool Engine::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  periodics_.erase(handle.id);
-  return callbacks_.erase(handle.id) > 0;
+  if ((handle.id & kPeriodicBit) != 0) {
+    auto it = periodics_.find(handle.id);
+    if (it == periodics_.end()) return false;
+    const EventHandle occurrence = it->second.occurrence;
+    periodics_.erase(it);
+    return cancel(occurrence);
+  }
+  if (!live(handle)) return false;
+  const std::uint32_t slot = slot_of(handle.id);
+  heap_remove(slot);
+  release_slot(slot);
+  return true;
 }
 
 bool Engine::pending(EventHandle handle) const {
-  return handle.valid() && callbacks_.count(handle.id) > 0;
+  if (!handle.valid()) return false;
+  if ((handle.id & kPeriodicBit) != 0) return periodics_.count(handle.id) > 0;
+  return live(handle);
+}
+
+bool Engine::reschedule(EventHandle handle, SimTime t) {
+  if (!handle.valid() || (handle.id & kPeriodicBit) != 0 || !live(handle)) return false;
+  VMLP_CHECK_MSG(t >= now_, "rescheduling into the past: t=" << t << " now=" << now_);
+  VMLP_AUDIT_ASSERT(t < kTimeInfinity, "event rescheduled to infinity (unresolved plan time)");
+  const std::uint32_t slot = slot_of(handle.id);
+  Event& e = pool_[slot];
+  e.time = t;
+  // Fresh sequence number: the rescheduled event fires after events already
+  // queued at the same timestamp, matching cancel+schedule_at semantics.
+  e.seq = next_seq_++;
+  // The key can move either direction (earlier or later time).
+  sift_up(e.heap_pos);
+  sift_down(pool_[slot].heap_pos);
+  return true;
+}
+
+bool Engine::reschedule_after(EventHandle handle, SimDuration delay) {
+  VMLP_CHECK_MSG(delay >= 0, "negative delay " << delay);
+  return reschedule(handle, now_ + delay);
 }
 
 bool Engine::step() {
-  // Every live callback owns exactly one queue entry (cancellation is lazy:
-  // the callback map is the source of truth, stale queue entries linger).
-  VMLP_AUDIT_ASSERT(callbacks_.size() <= queue_.size(),
-                    "callback map (" << callbacks_.size() << ") larger than event queue ("
-                                     << queue_.size() << ")");
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) continue;  // cancelled: lazy removal
-    VMLP_CHECK_MSG(entry.time >= now_, "event queue time went backwards");
-    VMLP_AUDIT_ASSERT(entry.time >= last_fired_, "event firing order not monotonic: t="
-                                                     << entry.time << " after " << last_fired_);
-    last_fired_ = entry.time;
-    now_ = entry.time;
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0];
+  Event& e = pool_[slot];
+  VMLP_CHECK_MSG(e.time >= now_, "event queue time went backwards");
+  VMLP_AUDIT_ASSERT(e.time >= last_fired_, "event firing order not monotonic: t="
+                                               << e.time << " after " << last_fired_);
+  last_fired_ = e.time;
+  now_ = e.time;
+  // Detach the callback and free the slot *before* invoking: the callback may
+  // schedule new events, reusing this slot or growing the pool (which would
+  // invalidate references into pool_).
+  Callback fn = std::move(e.fn);
+  heap_remove(slot);
+  release_slot(slot);
+  ++executed_;
+  fn();
+  return true;
 }
 
 void Engine::run_until(SimTime horizon) {
   VMLP_CHECK_MSG(horizon >= now_, "horizon in the past");
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    if (callbacks_.count(entry.id) == 0) {  // cancelled
-      queue_.pop();
-      continue;
-    }
-    if (entry.time > horizon) break;
+  while (!heap_.empty() && pool_[heap_[0]].time <= horizon) {
     step();
   }
   now_ = horizon;

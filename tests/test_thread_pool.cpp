@@ -1,16 +1,116 @@
-// ThreadPool: results, exceptions, parallel_for coverage.
+// ThreadPool: results, exceptions, parallel_for coverage — plus the
+// InlineFunction task storage the pool and engine share.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/error.h"
+#include "common/inline_function.h"
 #include "common/thread_pool.h"
 
 namespace vmlp {
 namespace {
+
+using Fn = InlineFunction<int()>;
+
+TEST(InlineFunction, SmallCaptureStaysInline) {
+  // The driver's typical closure ([this, rid, node] = 24 bytes) must not
+  // allocate; that is the whole point of the 48-byte buffer.
+  int a = 1;
+  int b = 2;
+  long c = 3;
+  Fn f = [a, b, c, p = &a] { return a + b + static_cast<int>(c) + (p != nullptr); };
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(InlineFunction, LargeCaptureFallsBackToHeap) {
+  std::array<char, 128> big{};
+  big[0] = 5;
+  Fn f = [big] { return static_cast<int>(big[0]); };
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 5);
+}
+
+TEST(InlineFunction, MoveTransfersTargetAndEmptiesSource) {
+  Fn f = [] { return 9; };
+  Fn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move): post-move state is the test
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 9);
+  f = std::move(g);
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(InlineFunction, HoldsMoveOnlyTargets) {
+  auto owned = std::make_unique<int>(42);
+  Fn f = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(f(), 42);
+  Fn g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunction, EmptyInvokeThrows) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_THROW(f(), InvariantError);
+  Fn g = [] { return 1; };
+  g = nullptr;
+  EXPECT_THROW(g(), InvariantError);
+}
+
+TEST(InlineFunction, DestroysTargetExactlyOnce) {
+  auto count = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> count;
+    Probe(std::shared_ptr<int> c) : count(std::move(c)) {}
+    Probe(Probe&& o) noexcept = default;
+    ~Probe() {
+      if (count) ++*count;
+    }
+    int operator()() const { return 1; }
+  };
+  {
+    InlineFunction<int()> f{Probe{count}};
+    InlineFunction<int()> g = std::move(f);
+    EXPECT_EQ(g(), 1);
+  }
+  // Moved-from probes carry a null shared_ptr, so only the live target counts.
+  EXPECT_EQ(*count, 1);
+}
+
+TEST(InlineFunction, HeapTargetSurvivesMove) {
+  std::array<long, 32> payload{};
+  payload[31] = 77;
+  InlineFunction<long()> f = [payload] { return payload[31]; };
+  EXPECT_FALSE(f.is_inline());
+  InlineFunction<long()> g = std::move(f);
+  EXPECT_FALSE(g.is_inline());
+  EXPECT_EQ(g(), 77);
+}
+
+TEST(ThreadPoolTask, ParallelForChunkClosureIsInline) {
+  // parallel_for's chunk closure ([&state, &body, lo, hi] = 32 bytes) must
+  // fit the Task buffer; if this fails the pool allocates per chunk again.
+  struct ChunkShape {
+    void* state;
+    void* body;
+    std::size_t lo;
+    std::size_t hi;
+  };
+  static_assert(sizeof(ChunkShape) <= ThreadPool::Task::kInlineCapacity,
+                "parallel_for chunk closures must stay inline");
+  ThreadPool::Task t = [] {};
+  EXPECT_TRUE(t.is_inline());
+}
 
 TEST(ThreadPool, SubmitReturnsResult) {
   ThreadPool pool(2);

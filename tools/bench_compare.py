@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""bench_compare — gate perf_harness results against a checked-in baseline.
+
+Compares a freshly produced BENCH_core.json against bench/baseline.json:
+
+  * events/sec metrics (the regression gate): FAIL when the new value is
+    more than --fail-threshold (default 25%) below the baseline.
+  * every other shared metric: WARN when it is more than --warn-threshold
+    (default 25%) worse, in its natural direction (wall_ms lower-is-better,
+    throughput/speedup higher-is-better). Warnings never fail the job —
+    absolute wall-clock numbers vary across runner generations; the
+    events/sec gate is the one metric stable enough to enforce.
+
+Re-baselining (after an intentional perf change, reviewed like any diff):
+
+    cmake --preset release
+    cmake --build --preset release --target perf_harness
+    ./build-release/bench/perf_harness BENCH_core.json
+    cp BENCH_core.json bench/baseline.json
+
+Exit status: 0 = within budget, 1 = gated regression, 2 = usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Metrics whose regression fails the job (substring match on the metric key).
+GATED = ("events_per_sec",)
+
+# Key suffixes where lower is better; everything else is higher-is-better.
+LOWER_IS_BETTER = ("wall_ms",)
+
+
+def load_metrics(path: Path) -> dict[str, float]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        print(f"bench_compare: {path} has no 'metrics' object", file=sys.stderr)
+        sys.exit(2)
+    return {k: float(v) for k, v in metrics.items()}
+
+
+def regression(key: str, baseline: float, new: float) -> float:
+    """Fractional regression in the metric's natural direction (positive =
+    worse). 0 when the baseline is degenerate."""
+    if baseline == 0:
+        return 0.0
+    if key.endswith(LOWER_IS_BETTER):
+        return (new - baseline) / baseline
+    return (baseline - new) / baseline
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="checked-in bench/baseline.json")
+    parser.add_argument("new", type=Path, help="freshly produced BENCH_core.json")
+    parser.add_argument("--fail-threshold", type=float, default=0.25,
+                        help="gated-metric regression fraction that fails (default 0.25)")
+    parser.add_argument("--warn-threshold", type=float, default=0.25,
+                        help="ungated-metric regression fraction that warns (default 0.25)")
+    args = parser.parse_args()
+
+    base = load_metrics(args.baseline)
+    new = load_metrics(args.new)
+
+    failures = 0
+    warnings = 0
+    width = max(len(k) for k in sorted(set(base) | set(new)))
+    for key in sorted(set(base) | set(new)):
+        if key not in base or key not in new:
+            print(f"  {key:<{width}}  (only in {'new' if key in new else 'baseline'}; skipped)")
+            continue
+        reg = regression(key, base[key], new[key])
+        gated = any(g in key for g in GATED)
+        status = "ok"
+        if gated and reg > args.fail_threshold:
+            status = "FAIL"
+            failures += 1
+        elif reg > args.warn_threshold:
+            status = "warn"
+            warnings += 1
+        print(f"  {key:<{width}}  base={base[key]:<14.6g} new={new[key]:<14.6g} "
+              f"change={-reg:+.1%}  {status}")
+
+    if failures:
+        print(f"bench_compare: {failures} gated regression(s) beyond "
+              f"{args.fail_threshold:.0%} — see re-baselining notes in this script's header",
+              file=sys.stderr)
+        return 1
+    if warnings:
+        print(f"bench_compare: {warnings} metric(s) regressed beyond "
+              f"{args.warn_threshold:.0%} (warn-only)")
+    print("bench_compare: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 // determinism_check — the simulator's reproducibility gate.
 //
-// Two claims are byte-verified:
+// Three claims are byte-verified:
 //
 //  1. Sweep-level parallelism is invisible: the same experiment grid run on a
 //     1-thread pool and an N-thread pool yields identical result rows. The
@@ -11,6 +11,10 @@
 //     same seed produce byte-identical exported event streams (Zipkin-style
 //     span JSON) and metric streams (request CSV + formatted summary).
 //
+//  3. Trial sharding is invisible: the parallel trial runner's merged
+//     summary (seed-split trials + ordered merge) is byte-identical at
+//     1, 4, and 8 pool threads.
+//
 // Exit status: 0 = deterministic, 1 = divergence (first diff is printed).
 #include <iomanip>
 #include <iostream>
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "exp/experiment.h"
+#include "exp/trial_runner.h"
 #include "loadgen/patterns.h"
 #include "trace/export.h"
 #include "workloads/suite.h"
@@ -185,6 +190,38 @@ int main() {
     if (c.spans_json == a.spans_json) {
       std::cerr << "FAIL: different seeds produced identical span streams — "
                    "the harness is not exercising the simulator\n";
+      ++failures;
+    }
+
+    // --- claim 3: thread-count invariance of the trial runner --------------
+    exp::TrialSpec spec;
+    spec.base = grid.front();
+    spec.trials = 6;
+    spec.base_seed = 2022;
+    std::string trials_serial;
+    const int failures_before_trials = failures;
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      std::cout << "running " << spec.trials << "-trial shard set at " << threads
+                << " thread(s)..." << std::endl;
+      const std::string merged = exp::format_trial_set(exp::run_trials(spec, threads));
+      if (threads == 1) {
+        trials_serial = merged;
+      } else if (merged != trials_serial) {
+        report_divergence("trial runner merged summary (1 vs " + std::to_string(threads) +
+                              " threads)",
+                          trials_serial, merged);
+        ++failures;
+      }
+    }
+    if (failures == failures_before_trials) {
+      std::cout << "OK: trial-runner merged summaries identical across 1/4/8 threads ("
+                << trials_serial.size() << " bytes)\n";
+    }
+    // Distinct trial seeds must actually differ (vacuity guard, same spirit
+    // as the seed check above).
+    if (spec.trials >= 2 &&
+        exp::trial_seed(spec.base_seed, 0) == exp::trial_seed(spec.base_seed, 1)) {
+      std::cerr << "FAIL: adjacent trials derived identical seeds\n";
       ++failures;
     }
   } catch (const std::exception& e) {
