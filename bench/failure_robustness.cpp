@@ -1,0 +1,106 @@
+// Extension bench — robustness to machine crashes and container faults.
+//
+// The paper's self-healing module heals *delay*; this bench stresses the
+// harder axis: machines die mid-chain and recover later, orphaning in-flight
+// microservices. Every scheme heals through the driver's bounded-retry layer;
+// v-MLP additionally routes orphans through its relocation machinery, so its
+// QoS under failures should dominate the reservation-less baselines
+// (FairSched/CurSched) in every cell — the bench exits nonzero otherwise.
+//
+// Runs with VMLP_AUDIT forced on: every crash purge re-verifies ledger
+// capacity conservation, so a single leaked or double-released reservation
+// aborts the bench. The grid sweeps crash rate x recovery time.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+#include "common/audit.h"
+
+int main() {
+  using namespace vmlp;
+  // Every run below re-checks capacity conservation on each crash/fault.
+  audit::set_enabled(true);
+
+  // Audit makes conservation scans O(live reservations) per mutation, so the
+  // grid uses a smaller cluster than the fig benches; failure pressure comes
+  // from the crash rate, not the fleet size.
+  constexpr std::size_t kMachines = 24;
+  constexpr SimTime kHorizon = 12 * kSec;
+
+  exp::print_section("Failure robustness — high-V_r stream, L2, 24 machines, 12 s, audit ON");
+
+  struct Axis {
+    const char* name;
+    double value;
+  };
+  const Axis crash_rates[] = {{"0.2/s", 0.2}, {"0.5/s", 0.5}, {"1.0/s", 1.0}};
+  const Axis recoveries[] = {{"200ms", 200.0}, {"500ms", 500.0}, {"1500ms", 1500.0}};
+
+  int dominance_failures = 0;
+  for (const auto& rate : crash_rates) {
+    for (const auto& rec : recoveries) {
+      const std::string cell = std::string("crash ") + rate.name + ", recovery " + rec.name;
+      exp::print_section(cell);
+      auto header = exp::failure_table_header();
+      header.insert(header.begin(), {"scheme", "QoS viol.", "p99"});
+      exp::Table table(header);
+
+      std::map<exp::SchemeKind, double> qos;
+      for (auto scheme : exp::all_schemes()) {
+        // High-V_r stream under L2: the regime where placement quality drives
+        // QoS (Fig. 10's widest gaps) — exactly where crash healing must not
+        // erase v-MLP's advantage.
+        auto config = bench::eval_config(scheme, loadgen::PatternKind::kL2Fluctuating,
+                                         exp::StreamKind::kHighVr, kHorizon);
+        config.driver.cluster.machine_count = kMachines;
+        // Load scaled to the 24-machine fleet at fig-bench density and beyond
+        // (the fig benches peak 100 machines at 10 req/s/machine): hot enough
+        // that blind-retry queueing after a crash costs tail latency, small
+        // enough that the audited grid fits in CI time.
+        config.pattern_params.base_rate = 150.0;
+        config.pattern_params.max_rate = 400.0;
+        config.pattern_params.l2_min_rate = 100.0;
+        config.pattern_params.l2_max_step = 150.0;
+        config.driver.failure.enabled = true;
+        config.driver.failure.crashes_per_second = rate.value;
+        config.driver.failure.recovery_mean =
+            static_cast<SimDuration>(rec.value) * kMsec;
+        config.driver.failure.container_fault_prob = 0.05;
+        const auto result = bench::run_with_progress(config, cell.c_str());
+        qos[scheme] = result.run.qos_violation_rate;
+
+        auto cells = exp::failure_cells(result.run);
+        cells.insert(cells.begin(),
+                     {std::string(exp::scheme_name(scheme)),
+                      exp::fmt_percent(result.run.qos_violation_rate, 2),
+                      exp::fmt_ms(result.run.p99_latency_us)});
+        table.row(cells);
+      }
+      table.print();
+
+      // The paper's ordering must hold under failures too: v-MLP's planned
+      // reservations + orphan relocation beat the reservation-less baselines.
+      for (auto baseline : {exp::SchemeKind::kFairSched, exp::SchemeKind::kCurSched}) {
+        if (qos[exp::SchemeKind::kVmlp] >= qos[baseline]) {
+          std::fprintf(stderr, "FAIL: v-MLP QoS violation %.4f >= %s %.4f in cell [%s]\n",
+                       qos[exp::SchemeKind::kVmlp], exp::scheme_name(baseline), qos[baseline],
+                       cell.c_str());
+          ++dominance_failures;
+        }
+      }
+    }
+  }
+
+  if (dominance_failures > 0) {
+    std::cerr << "\nfailure_robustness: " << dominance_failures
+              << " dominance violation(s) — v-MLP did not beat the baselines everywhere\n";
+    return 1;
+  }
+  std::cout << "\nReading: crashes orphan mid-chain work everywhere, but schemes that\n"
+               "re-plan orphans onto reserved future windows (v-MLP) keep QoS ahead of\n"
+               "blind-retry baselines in every crash-rate x recovery-time cell; the\n"
+               "audit layer verified ledger conservation through every crash purge.\n";
+  return 0;
+}

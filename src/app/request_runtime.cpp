@@ -89,6 +89,19 @@ void RequestRuntime::revert_placement(std::size_t i, SimTime t) {
   }
 }
 
+void RequestRuntime::mark_failed(std::size_t i, SimTime t) {
+  NodeRuntime& n = node(i);
+  VMLP_CHECK_MSG(n.state == NodeState::kRunning,
+                 "failing node " << i << " in state " << node_state_name(n.state));
+  n.state = NodeState::kReady;
+  n.machine = MachineId::invalid();
+  n.instance = InstanceId::invalid();
+  n.container = ContainerId::invalid();
+  n.planned_start = -1;
+  n.started_at = -1;
+  n.ready_at = t;
+}
+
 std::vector<std::size_t> RequestRuntime::mark_done(std::size_t i, SimTime t) {
   NodeRuntime& n = node(i);
   VMLP_CHECK_MSG(n.state == NodeState::kRunning,

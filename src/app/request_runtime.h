@@ -56,6 +56,10 @@ class RequestRuntime {
   /// invocations): back to kReady when dependencies are met, kWaiting
   /// otherwise.
   void revert_placement(std::size_t i, SimTime t);
+  /// A running execution was lost (machine crash, container fault, or
+  /// invocation timeout): back to kReady for re-placement. Dependencies stay
+  /// satisfied; completed work is discarded.
+  void mark_failed(std::size_t i, SimTime t);
   /// Record completion; returns children whose dependencies are now all met
   /// (they are NOT auto-marked ready — communication delay happens first).
   std::vector<std::size_t> mark_done(std::size_t i, SimTime t);

@@ -19,6 +19,12 @@ class Machine {
 
   [[nodiscard]] MachineId id() const { return id_; }
   [[nodiscard]] const ResourceVector& capacity() const { return capacity_; }
+
+  /// Failure injection marks machines down for crash windows; schedulers must
+  /// never select a down machine (sched/failure.h). Containers already on a
+  /// crashing machine are purged by the driver, not here.
+  [[nodiscard]] bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
   [[nodiscard]] ReservationLedger& ledger() { return ledger_; }
   [[nodiscard]] const ReservationLedger& ledger() const { return ledger_; }
 
@@ -51,6 +57,7 @@ class Machine {
  private:
   MachineId id_;
   ResourceVector capacity_;
+  bool up_ = true;
   ReservationLedger ledger_;
   // Ordered by ContainerId so usage/allocation sums accumulate in a stable
   // order — unordered iteration would make exported metrics depend on

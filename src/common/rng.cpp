@@ -138,7 +138,14 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
     if (r < weights[i]) return i;
     r -= weights[i];
   }
-  return weights.size() - 1;  // floating-point edge: land on the last bucket
+  // Floating-point residue walked past every bucket. Land on the last
+  // *positive-weight* entry: a zero-weight bucket must never be sampled, and
+  // a trailing zero (e.g. a 0.0-ratio mix endpoint) sits exactly here.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  VMLP_CHECK_MSG(false, "unreachable: total > 0 implies a positive weight");
+  return 0;
 }
 
 }  // namespace vmlp

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "sched/driver.h"
 
 namespace vmlp::exp {
 
@@ -86,6 +87,22 @@ std::string ascii_series(const std::vector<double>& values, std::size_t width) {
 
 void print_section(const std::string& title, std::ostream& out) {
   out << '\n' << "=== " << title << " ===\n";
+}
+
+std::vector<std::string> failure_table_header() {
+  return {"crashes", "faults",    "timeouts",    "orphans",
+          "retries", "abandoned", "goodput r/s", "orphan p99"};
+}
+
+std::vector<std::string> failure_cells(const sched::RunResult& r) {
+  return {std::to_string(r.machine_crashes),
+          std::to_string(r.container_faults),
+          std::to_string(r.invocation_timeouts),
+          std::to_string(r.orphaned_nodes),
+          std::to_string(r.retries),
+          std::to_string(r.abandoned_requests),
+          fmt_double(r.goodput_rps, 1),
+          fmt_ms(r.orphaned_p99_latency_us)};
 }
 
 }  // namespace vmlp::exp

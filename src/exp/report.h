@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+namespace vmlp::sched {
+struct RunResult;
+}
+
 namespace vmlp::exp {
 
 class Table {
@@ -40,5 +44,11 @@ std::string ascii_series(const std::vector<double>& values, std::size_t width = 
 
 /// Print a titled section separator.
 void print_section(const std::string& title, std::ostream& out = std::cout);
+
+/// Column titles for the failure-robustness metrics, in the same order
+/// `failure_cells` emits them. Prepend scheme/config columns as needed.
+std::vector<std::string> failure_table_header();
+/// One run's failure metrics formatted for a Table row.
+std::vector<std::string> failure_cells(const sched::RunResult& r);
 
 }  // namespace vmlp::exp

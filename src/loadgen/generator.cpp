@@ -55,6 +55,12 @@ RequestMix RequestMix::with_high_ratio(const app::Application& application, doub
   return mix;
 }
 
+SimTime quantize_arrival(double t_sec, SimTime horizon) {
+  if (t_sec < 0.0) return -1;
+  const auto t = static_cast<SimTime>(std::llround(t_sec * kSec));
+  return t < horizon ? t : -1;
+}
+
 std::vector<Arrival> generate_arrivals(const WorkloadPattern& pattern, const RequestMix& mix,
                                        Rng& rng, double qps_scale) {
   VMLP_CHECK_MSG(qps_scale > 0.0, "qps_scale must be positive");
@@ -72,7 +78,8 @@ std::vector<Arrival> generate_arrivals(const WorkloadPattern& pattern, const Req
   while (true) {
     t_sec += rng.exponential_mean(1.0 / envelope);
     if (t_sec >= horizon_sec) break;
-    const auto t = static_cast<SimTime>(std::llround(t_sec * kSec));
+    const SimTime t = quantize_arrival(t_sec, horizon);
+    if (t < 0) continue;  // rounding crossed the horizon; candidate is void
     const double accept = pattern.rate_at(t) * qps_scale / envelope;
     if (rng.bernoulli(accept)) {
       arrivals.push_back(Arrival{t, mix.sample(rng)});

@@ -49,9 +49,17 @@ class RequestMix {
   std::vector<MixEntry> entries_;
 };
 
+/// Quantize a candidate arrival at `t_sec` seconds onto the simulation clock.
+/// Returns -1 when rounding pushes the tick to or past `horizon`: a candidate
+/// drawn just under the horizon can round UP (llround half-away-from-zero),
+/// and an arrival at t == horizon would never execute — Engine::run_until
+/// fires it, but the driver's QoS window excludes it, so it must be rejected
+/// here, not silently mis-binned.
+[[nodiscard]] SimTime quantize_arrival(double t_sec, SimTime horizon);
+
 /// Generate arrivals over the pattern's horizon via thinning. `qps_scale`
 /// proportionally scales the rate curve (the Fig. 12 workload levels).
-/// Result is sorted by time.
+/// Result is sorted by time; every time is in [0, horizon).
 std::vector<Arrival> generate_arrivals(const WorkloadPattern& pattern, const RequestMix& mix,
                                        Rng& rng, double qps_scale = 1.0);
 

@@ -124,6 +124,7 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage(
     for (std::size_t j = 0; j < n_machines; ++j) {
       if (++probes > params_.max_admit_probes) return std::nullopt;
       const MachineId m(static_cast<std::uint32_t>((cursor_ + j) % n_machines));
+      if (!iface_->cluster().machine(m).up()) continue;  // crash window
       SimTime desired = now;
       if (parent_finish.empty()) {
         // Root stage: ingress hop from the request handler.

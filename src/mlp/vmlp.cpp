@@ -87,12 +87,18 @@ void VmlpScheduler::on_late_invocation(RequestId id, std::size_t node) {
     const SimDuration old_duration = dn.reserve_duration;
     driver_->unplace(id, node);
     if (!organizer_->organize_node(id, node)) {
-      // Nowhere better — fall back to the original machine right away; the
-      // contention model arbitrates.
-      const auto& svc = driver_->application().service(
-          ar->runtime.type().nodes()[node].service);
-      driver_->place(id, node, old_machine, svc.demand, driver_->now(),
-                     std::max<SimDuration>(1, old_duration));
+      if (driver_->cluster().machine(old_machine).up()) {
+        // Nowhere better — fall back to the original machine right away; the
+        // contention model arbitrates.
+        const auto& svc = driver_->application().service(
+            ar->runtime.type().nodes()[node].service);
+        driver_->place(id, node, old_machine, svc.demand, driver_->now(),
+                       std::max<SimDuration>(1, old_duration));
+      } else {
+        // The old machine crashed since the event was armed: park the node
+        // for the periodic pass instead of booking a dead machine.
+        ready_.emplace_back(id, node);
+      }
     }
     ++relocations_;
     return;
@@ -122,6 +128,14 @@ void VmlpScheduler::on_late_invocation(RequestId id, std::size_t node) {
                                 }),
                  ready_.end());
   }
+}
+
+void VmlpScheduler::on_node_orphaned(RequestId id, std::size_t node) {
+  // Crash healing rides the relocation machinery (Fig. 7): re-plan the
+  // orphaned stage onto a live machine's reserved window; park it in the
+  // ready queue otherwise — the periodic pass keeps retrying.
+  ++orphan_relocations_;
+  if (!organizer_->organize_node(id, node)) ready_.emplace_back(id, node);
 }
 
 void VmlpScheduler::on_request_finished(RequestId id) {

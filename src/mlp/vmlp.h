@@ -29,6 +29,7 @@ class VmlpScheduler final : public sched::IScheduler {
   void on_node_unblocked(RequestId id, std::size_t node) override;
   void on_tick() override;
   void on_late_invocation(RequestId id, std::size_t node) override;
+  void on_node_orphaned(RequestId id, std::size_t node) override;
   void on_request_finished(RequestId id) override;
 
   [[nodiscard]] const SelfOrganizing* organizer() const { return organizer_.get(); }
@@ -37,6 +38,8 @@ class VmlpScheduler final : public sched::IScheduler {
   /// Late/stuck stages moved to a better machine (Fig. 7's "relocation of
   /// late-invoking" microservices).
   [[nodiscard]] std::size_t relocations() const { return relocations_; }
+  /// Failure orphans routed through the relocation machinery (crash healing).
+  [[nodiscard]] std::size_t orphan_relocations() const { return orphan_relocations_; }
 
  private:
   /// One Algorithm 1 pass over the R-ordered waiting queue.
@@ -52,6 +55,7 @@ class VmlpScheduler final : public sched::IScheduler {
   std::vector<RequestId> waiting_;                        // unplanned requests
   std::vector<std::pair<RequestId, std::size_t>> ready_;  // unblocked, unplaced nodes
   std::size_t relocations_ = 0;
+  std::size_t orphan_relocations_ = 0;
 };
 
 }  // namespace vmlp::mlp

@@ -8,6 +8,7 @@ ClusterMonitor::ClusterMonitor(const cluster::Cluster& clustr, SimDuration perio
                                SimDuration bucket, SimTime horizon)
     : cluster_(clustr),
       period_(period),
+      horizon_(horizon),
       overall_(bucket, horizon),
       cpu_(bucket, horizon),
       mem_(bucket, horizon),
@@ -20,6 +21,7 @@ void ClusterMonitor::attach(sim::Engine& engine) {
 }
 
 void ClusterMonitor::sample(SimTime now) {
+  if (now < 0 || now >= horizon_) return;
   const cluster::ResourceVector usage = cluster_.total_usage();
   const cluster::ResourceVector capacity = cluster_.total_capacity();
   const double overall = cluster_.overall_utilization();

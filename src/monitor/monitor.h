@@ -28,7 +28,10 @@ class ClusterMonitor {
 
   /// Arm the periodic sampling on the engine (first sample at t=0).
   void attach(sim::Engine& engine);
-  /// Take one sample immediately (also usable without an engine).
+  /// Take one sample immediately (also usable without an engine). Samples at
+  /// or past the horizon are ignored: Engine::run_until(horizon) fires events
+  /// with time <= horizon, so a period dividing the horizon lands one tick
+  /// exactly on it — outside every bucket.
   void sample(SimTime now);
 
   [[nodiscard]] const stats::TimeSeries& overall_series() const { return overall_; }
@@ -45,6 +48,7 @@ class ClusterMonitor {
  private:
   const cluster::Cluster& cluster_;
   SimDuration period_;
+  SimTime horizon_;
   stats::TimeSeries overall_;
   stats::TimeSeries cpu_;
   stats::TimeSeries mem_;

@@ -19,6 +19,7 @@ MachineId machine_fewest_containers(const cluster::Cluster& clustr) {
   MachineId best;
   std::size_t best_count = 0;
   for (const auto& m : clustr.machines()) {
+    if (!m.up()) continue;
     if (!best.valid() || m.container_count() < best_count) {
       best = m.id();
       best_count = m.container_count();
@@ -31,6 +32,7 @@ MachineId machine_lowest_utilization(const cluster::Cluster& clustr) {
   MachineId best;
   double best_util = 0.0;
   for (const auto& m : clustr.machines()) {
+    if (!m.up()) continue;
     const double u = m.utilization_sum();
     if (!best.valid() || u < best_util) {
       best = m.id();
@@ -43,6 +45,7 @@ MachineId machine_lowest_utilization(const cluster::Cluster& clustr) {
 MachineId machine_first_fit(const cluster::Cluster& clustr, SimTime start, SimDuration duration,
                             const cluster::ResourceVector& demand) {
   for (const auto& m : clustr.machines()) {
+    if (!m.up()) continue;
     if (m.ledger().fits(start, start + duration, demand)) return m.id();
   }
   return MachineId::invalid();
@@ -53,6 +56,7 @@ MachineId machine_best_fit(const cluster::Cluster& clustr, SimTime start, SimDur
   MachineId best;
   double best_spare = -1.0;
   for (const auto& m : clustr.machines()) {
+    if (!m.up()) continue;
     if (!m.ledger().fits(start, start + duration, demand)) continue;
     const auto avail = m.ledger().available(start, start + duration);
     if (avail.cpu > best_spare) {

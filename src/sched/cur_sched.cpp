@@ -27,6 +27,11 @@ void CurSched::drain() {
     if (ar == nullptr || ar->nodes[node].placed) continue;
 
     const MachineId machine = machine_lowest_utilization(driver_->cluster());
+    if (!machine.valid()) {
+      // Whole cluster down: requeue and wait for a recovery.
+      ready_.emplace_front(id, node);
+      return;
+    }
     const auto& req_node = ar->runtime.type().nodes()[node];
     const auto& svc = driver_->application().service(req_node.service);
     const SimDuration est = estimate_mean_exec(*driver_, ar->runtime.type(), node);

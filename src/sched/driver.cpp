@@ -25,7 +25,10 @@ SimulationDriver::SimulationDriver(const app::Application& application, ISchedul
       exec_(params.exec),
       monitor_(cluster_, params.monitor_period, params.monitor_bucket, params.horizon),
       rng_(Rng(params.seed).fork("exec")),
-      rng_interference_(Rng(params.seed).fork("interference")) {
+      rng_interference_(Rng(params.seed).fork("interference")),
+      rng_failure_(Rng(params.seed).fork("failure-exec")),
+      failure_schedule_(build_failure_schedule(params.failure, params.seed, params.horizon,
+                                               params.cluster.machine_count)) {
   VMLP_CHECK_MSG(params.horizon > 0 && params.tick > 0, "bad driver timing params");
   volatility_cache_.resize(app_.request_count(), 0.0);
   for (const auto& rt : app_.requests()) {
@@ -166,6 +169,8 @@ void SimulationDriver::place(RequestId id, std::size_t node, MachineId machine,
   VMLP_CHECK_MSG(reserve_duration > 0, "reserve_duration must be positive");
 
   cluster::Machine& m = cluster_.machine(machine);
+  VMLP_CHECK_MSG(m.up(), "place() on down machine " << machine.value()
+                                                    << " — schedulers must skip crash windows");
   dn.placed = true;
   dn.machine = machine;
   dn.limit = limit.clamp_to(m.capacity());
@@ -326,6 +331,22 @@ void SimulationDriver::start_node(RequestId id, std::size_t node) {
     dn.late_event = {};
   }
 
+  if (params_.failure.enabled) {
+    if (params_.failure.container_fault_prob > 0.0 &&
+        rng_failure_.bernoulli(params_.failure.container_fault_prob)) {
+      // The container dies somewhere inside its expected execution window.
+      const double frac = rng_failure_.uniform(0.05, 0.95);
+      const auto fault_delay = std::max<SimDuration>(
+          1, static_cast<SimDuration>(static_cast<double>(dn.reserve_duration) * frac));
+      dn.fault_event =
+          engine_.schedule_after(fault_delay, [this, id, node] { container_fault(id, node); });
+    }
+    if (params_.failure.invocation_timeout > 0) {
+      dn.timeout_event = engine_.schedule_after(
+          params_.failure.invocation_timeout, [this, id, node] { invocation_timeout(id, node); });
+    }
+  }
+
   running_on_[dn.machine.value()].push_back(RunningRef{id, node, ar});
   recompute_machine(dn.machine);
   scheduler_.on_node_started(id, node);
@@ -406,9 +427,11 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
 
   dn.running = false;
   dn.done = true;
-  if (dn.finish_event.valid()) {
-    engine_.cancel(dn.finish_event);
-    dn.finish_event = {};
+  for (sim::EventHandle* ev : {&dn.finish_event, &dn.fault_event, &dn.timeout_event}) {
+    if (ev->valid()) {
+      engine_.cancel(*ev);
+      *ev = {};
+    }
   }
 
   // Tear down the container and the remaining reservation window.
@@ -447,6 +470,7 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
   if (ar->runtime.finished()) {
     tracer_.on_request_completion(id, t);
     qos_.record_completion(ar->runtime.type().id(), t - ar->runtime.arrival());
+    if (ar->degraded) orphaned_latencies_.add(static_cast<double>(t - ar->runtime.arrival()));
     ++completed_;
     scheduler_.on_request_finished(id);
     requests_.erase(id);
@@ -548,6 +572,7 @@ void SimulationDriver::inject_interference() {
   const MachineId machine(static_cast<std::uint32_t>(rng_interference_.uniform_int(
       0, static_cast<std::int64_t>(cluster_.machine_count()) - 1)));
   cluster::Machine& m = cluster_.machine(machine);
+  if (!m.up()) return;  // nobody co-tenants a dead machine; skip this burst
   const cluster::ResourceVector burst = m.capacity() * p.magnitude;
 
   const ContainerId cid(next_container_++);
@@ -564,12 +589,171 @@ void SimulationDriver::inject_interference() {
   });
 }
 
+void SimulationDriver::schedule_failures() {
+  for (const FailureWindow& w : failure_schedule_) {
+    engine_.schedule_at(w.down_at, [this, m = w.machine] { crash_machine(m); });
+    if (w.up_at < params_.horizon) {
+      engine_.schedule_at(w.up_at, [this, m = w.machine] { recover_machine(m); });
+    }
+  }
+}
+
+void SimulationDriver::crash_machine(MachineId machine) {
+  cluster::Machine& m = cluster_.machine(machine);
+  VMLP_CHECK_MSG(m.up(), "crash on already-down machine " << machine.value());
+  m.set_up(false);
+  ++counters_.machine_crashes;
+
+  // Orphan every running execution here. Copy the refs: the fail path edits
+  // running_on_ and may trigger scheduler callbacks that place elsewhere.
+  std::vector<RunningRef> victims;
+  if (auto it = running_on_.find(machine.value()); it != running_on_.end()) victims = it->second;
+  for (const RunningRef& ref : victims) {
+    ActiveRequest* ar = find_request(ref.id);
+    if (ar == nullptr || !ar->nodes[ref.node].running) continue;
+    fail_running_node(*ar, ref.node);
+  }
+
+  // Void placements waiting to start here. Scan in arrival order — requests_
+  // is unordered and its iteration order must not leak into event order.
+  for (RequestId id : arrival_order_) {
+    ActiveRequest* ar = find_request(id);
+    if (ar == nullptr) continue;
+    for (std::size_t node = 0; node < ar->nodes.size(); ++node) {
+      DriverNode& dn = ar->nodes[node];
+      if (!dn.placed || dn.running || dn.done || !(dn.machine == machine)) continue;
+      unplace(id, node);
+      ar->degraded = true;
+      ++counters_.orphaned_pending;
+      // Nothing executed, so no retry is charged: deps-met nodes go straight
+      // back to the scheduler; the rest re-enter via handle_parent_finished.
+      if (ar->runtime.node(node).pending_parents == 0) {
+        scheduler_.on_node_orphaned(id, node);
+      }
+    }
+  }
+  // Interference phantoms stay: their removal events are already queued and
+  // remove_container would throw on a second removal.
+
+  // Audit tier: the purge must leave the dead machine with zero live driver
+  // reservations and a ledger that agrees (capacity conservation through a
+  // crash).
+  if (audit::enabled()) {
+    const auto rit = running_on_.find(machine.value());
+    VMLP_AUDIT_ASSERT(rit == running_on_.end() || rit->second.empty(),
+                      "crash purge left executions on machine " << machine.value());
+    for (RequestId id : arrival_order_) {
+      const ActiveRequest* ar = find_request(id);
+      if (ar == nullptr) continue;
+      for (const DriverNode& dn : ar->nodes) {
+        VMLP_AUDIT_ASSERT(!(dn.has_reservation && dn.machine == machine),
+                          "crash purge left a live reservation on machine " << machine.value());
+      }
+    }
+    audit_machine_conservation(machine);
+  }
+}
+
+void SimulationDriver::recover_machine(MachineId machine) {
+  cluster::Machine& m = cluster_.machine(machine);
+  VMLP_CHECK_MSG(!m.up(), "recovery on up machine " << machine.value());
+  m.set_up(true);
+  ++counters_.machine_recoveries;
+}
+
+void SimulationDriver::fail_running_node(ActiveRequest& ar, std::size_t node) {
+  DriverNode& dn = ar.nodes[node];
+  VMLP_CHECK_MSG(dn.running && !dn.done, "failing a node that is not executing");
+  const RequestId id = ar.runtime.id();
+  const SimTime t = engine_.now();
+  const MachineId machine = dn.machine;
+
+  for (sim::EventHandle* ev : {&dn.finish_event, &dn.fault_event, &dn.timeout_event,
+                               &dn.start_event, &dn.late_event}) {
+    if (ev->valid()) {
+      engine_.cancel(*ev);
+      *ev = {};
+    }
+  }
+  auto& vec = running_on_[machine.value()];
+  vec.erase(std::remove_if(vec.begin(), vec.end(),
+                           [&](const RunningRef& r) { return r.id == id && r.node == node; }),
+            vec.end());
+  cluster::Machine& m = cluster_.machine(machine);
+  m.remove_container(dn.container);
+  release_reservation_tail(ar, node, t);
+
+  dn.running = false;
+  dn.placed = false;
+  dn.planned_start = -1;
+  dn.startable_at = -1;
+  dn.reserved_begin = -1;
+  dn.reserved_end = -1;
+  dn.reserve_duration = 0;
+  dn.remaining_work = 0.0;  // completed work is lost; retries restart cold
+  dn.early_denial_streak = 0;
+  dn.stuck_notified = false;
+  ++dn.attempts;
+  ar.degraded = true;
+  ++counters_.orphaned_running;
+  ar.runtime.mark_failed(node, t);
+  audit_machine_conservation(machine);
+  if (m.up()) recompute_machine(machine);  // survivors re-rate on the freed capacity
+
+  schedule_retry(ar, node);
+}
+
+void SimulationDriver::schedule_retry(ActiveRequest& ar, std::size_t node) {
+  DriverNode& dn = ar.nodes[node];
+  if (dn.attempts > params_.failure.max_retries) {
+    dn.abandoned = true;
+    ++counters_.retries_dropped;
+    return;  // the request stays unfinished; horizon accounting charges it
+  }
+  ++counters_.retries_scheduled;
+  const double factor = std::pow(std::max(1.0, params_.failure.retry_backoff_factor),
+                                 static_cast<double>(dn.attempts - 1));
+  const auto backoff = std::max<SimDuration>(
+      1, static_cast<SimDuration>(
+             std::llround(static_cast<double>(params_.failure.retry_backoff_base) * factor)));
+  const RequestId id = ar.runtime.id();
+  engine_.schedule_after(backoff, [this, id, node] {
+    ActiveRequest* r = find_request(id);
+    if (r == nullptr) return;
+    const DriverNode& n = r->nodes[node];
+    if (n.placed || n.running || n.done || n.abandoned) return;
+    if (r->runtime.node(node).pending_parents != 0) return;  // re-enters via parents
+    scheduler_.on_node_orphaned(id, node);
+  });
+}
+
+void SimulationDriver::container_fault(RequestId id, std::size_t node) {
+  ActiveRequest* ar = find_request(id);
+  if (ar == nullptr) return;
+  DriverNode& dn = ar->nodes[node];
+  if (!dn.running || dn.done) return;
+  dn.fault_event = {};  // this event just fired; don't cancel a stale handle
+  ++counters_.container_faults;
+  fail_running_node(*ar, node);
+}
+
+void SimulationDriver::invocation_timeout(RequestId id, std::size_t node) {
+  ActiveRequest* ar = find_request(id);
+  if (ar == nullptr) return;
+  DriverNode& dn = ar->nodes[node];
+  if (!dn.running || dn.done) return;
+  dn.timeout_event = {};
+  ++counters_.invocation_timeouts;
+  fail_running_node(*ar, node);
+}
+
 RunResult SimulationDriver::run() {
   VMLP_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
   scheduler_.attach(*this);
   monitor_.attach(engine_);
   schedule_next_interference();
+  schedule_failures();
   engine_.schedule_periodic(params_.tick, params_.tick, [this] { scheduler_.on_tick(); });
   if (params_.ledger_compact_period > 0) {
     engine_.schedule_periodic(params_.ledger_compact_period, params_.ledger_compact_period,
@@ -585,8 +769,12 @@ RunResult SimulationDriver::run() {
   result.arrived = arrived_;
   result.completed = completed_;
   for (RequestId id : active_requests()) {
-    qos_.record_unfinished(requests_.at(id)->runtime.type().id());
+    const ActiveRequest& ar = *requests_.at(id);
+    qos_.record_unfinished(ar.runtime.type().id());
     ++result.unfinished;
+    bool abandoned = false;
+    for (const DriverNode& dn : ar.nodes) abandoned = abandoned || dn.abandoned;
+    if (abandoned) ++result.abandoned_requests;
   }
   result.qos_violation_rate = qos_.violation_rate();
   result.mean_utilization = monitor_.mean_overall();
@@ -599,6 +787,19 @@ RunResult SimulationDriver::run() {
   }
   result.throughput_rps =
       static_cast<double>(completed_) / (static_cast<double>(params_.horizon) / kSec);
+
+  result.machine_crashes = counters_.machine_crashes;
+  result.container_faults = counters_.container_faults;
+  result.invocation_timeouts = counters_.invocation_timeouts;
+  result.orphaned_nodes = counters_.orphaned_running;
+  result.retries = counters_.retries_scheduled;
+  if (!orphaned_latencies_.empty()) {
+    result.orphaned_mean_latency_us = orphaned_latencies_.mean();
+    result.orphaned_p99_latency_us = orphaned_latencies_.quantile(0.99);
+  }
+  const std::size_t met_slo = qos_.total() - qos_.violations();
+  result.goodput_rps =
+      static_cast<double>(met_slo) / (static_cast<double>(params_.horizon) / kSec);
   return result;
 }
 

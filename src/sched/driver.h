@@ -34,6 +34,7 @@
 #include "monitor/monitor.h"
 #include "net/comm_model.h"
 #include "net/topology.h"
+#include "sched/failure.h"
 #include "sched/scheduler.h"
 #include "sim/engine.h"
 #include "stats/qos.h"
@@ -61,6 +62,7 @@ struct DriverParams {
   SimTime horizon = 100 * kSec;
   SimDuration tick = 1 * kMsec;
   InterferenceParams interference;
+  FailureParams failure;
   std::size_t machines_per_rack = 20;
   cluster::ClusterParams cluster;
   net::CommModelParams comm;
@@ -100,8 +102,15 @@ struct DriverNode {
   double jitter = 1.0;  ///< S=3 contention-dispersion multiplier, fixed per instance
   SimTime last_advance = 0;
   sim::EventHandle finish_event;
+  sim::EventHandle fault_event;    ///< pending mid-flight container fault
+  sim::EventHandle timeout_event;  ///< invocation-timeout watchdog
   bool running = false;
   bool done = false;
+  /// Executions lost to crashes/faults/timeouts so far (bounded retry).
+  int attempts = 0;
+  /// Retry budget exhausted: the node is never re-placed and the request
+  /// stays unfinished (accounted as a QoS violation at the horizon).
+  bool abandoned = false;
   /// Consecutive denied early-start probes; at kStuckThreshold the scheduler
   /// is told the node is effectively late so it can relocate it.
   int early_denial_streak = 0;
@@ -114,6 +123,8 @@ struct ActiveRequest {
       : runtime(type, id, arrival), nodes(type.size()) {}
   app::RequestRuntime runtime;
   std::vector<DriverNode> nodes;
+  /// At least one node lost an execution or placement to a failure.
+  bool degraded = false;
 };
 
 struct RunResult {
@@ -127,6 +138,20 @@ struct RunResult {
   double p99_latency_us = 0.0;
   double mean_latency_us = 0.0;
   double throughput_rps = 0.0;  ///< completions / horizon
+
+  // Failure-robustness metrics (all zero when failure injection is off).
+  std::size_t machine_crashes = 0;
+  std::size_t container_faults = 0;
+  std::size_t invocation_timeouts = 0;
+  std::size_t orphaned_nodes = 0;      ///< executions lost mid-flight
+  std::size_t retries = 0;             ///< retry re-placements scheduled
+  std::size_t abandoned_requests = 0;  ///< unfinished with retry budget spent
+  /// End-to-end latency of *completed* requests that lost at least one
+  /// execution or placement to a failure.
+  double orphaned_mean_latency_us = 0.0;
+  double orphaned_p99_latency_us = 0.0;
+  /// SLO-meeting completions per second — throughput that actually counts.
+  double goodput_rps = 0.0;
 };
 
 class SimulationDriver {
@@ -202,14 +227,39 @@ class SimulationDriver {
     std::size_t late_events = 0;      ///< on_late_invocation deliveries
     std::size_t reallocations = 0;    ///< adjust_limit calls
     std::size_t interference_bursts = 0;  ///< injected co-tenant bursts
+    std::size_t machine_crashes = 0;      ///< crash windows entered
+    std::size_t machine_recoveries = 0;   ///< crash windows exited in-horizon
+    std::size_t container_faults = 0;     ///< mid-flight container deaths
+    std::size_t invocation_timeouts = 0;  ///< watchdog kills
+    std::size_t orphaned_running = 0;     ///< executions lost mid-flight
+    std::size_t orphaned_pending = 0;     ///< placements voided by a crash
+    std::size_t retries_scheduled = 0;    ///< backoff retries armed
+    std::size_t retries_dropped = 0;      ///< nodes past the retry budget
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// The run's machine outage windows (pure function of the seed).
+  [[nodiscard]] const std::vector<FailureWindow>& failure_schedule() const {
+    return failure_schedule_;
+  }
 
  private:
   void warmup_profiles();
   void on_arrival(RequestTypeId type);
   void schedule_next_interference();
   void inject_interference();
+  void schedule_failures();
+  /// Machine outage: orphan running executions, void pending placements,
+  /// release every reservation — then hand the lost work back to the
+  /// scheduler via bounded retry / on_node_orphaned.
+  void crash_machine(MachineId machine);
+  void recover_machine(MachineId machine);
+  /// Kill one running execution (crash/fault/timeout): container destroyed,
+  /// reservation released, runtime state back to ready, retry scheduled.
+  void fail_running_node(ActiveRequest& ar, std::size_t node);
+  void schedule_retry(ActiveRequest& ar, std::size_t node);
+  void container_fault(RequestId id, std::size_t node);
+  void invocation_timeout(RequestId id, std::size_t node);
   void schedule_start_attempt(ActiveRequest& ar, std::size_t node);
   void start_node(RequestId id, std::size_t node);
   void finish_node(RequestId id, std::size_t node);
@@ -253,6 +303,9 @@ class SimulationDriver {
 
   Rng rng_;               // execution sampling
   Rng rng_interference_;  // interference injection stream
+  Rng rng_failure_;       // per-invocation fault draws (schedule has its own)
+  std::vector<FailureWindow> failure_schedule_;
+  stats::SampleSet orphaned_latencies_;
   std::unordered_map<RequestId, std::unique_ptr<ActiveRequest>> requests_;
   /// machine id -> running instances placed there.
   std::unordered_map<std::uint32_t, std::vector<RunningRef>> running_on_;

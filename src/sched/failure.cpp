@@ -1,0 +1,43 @@
+#include "sched/failure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vmlp::sched {
+
+std::vector<FailureWindow> build_failure_schedule(const FailureParams& params, std::uint64_t seed,
+                                                  SimTime horizon, std::size_t machine_count) {
+  std::vector<FailureWindow> schedule;
+  if (!params.enabled || params.crashes_per_second <= 0.0 || machine_count == 0) return schedule;
+  VMLP_CHECK_MSG(horizon > 0, "failure schedule needs a positive horizon");
+  VMLP_CHECK_MSG(params.recovery_mean > 0, "recovery_mean must be positive");
+
+  Rng rng = Rng(seed).fork("failure");
+  std::vector<SimTime> down_until(machine_count, 0);
+  double t_sec = 0.0;
+  const double horizon_sec = static_cast<double>(horizon) / kSec;
+  while (true) {
+    t_sec += rng.exponential_mean(1.0 / params.crashes_per_second);
+    if (t_sec >= horizon_sec) break;
+    const auto down_at = static_cast<SimTime>(std::llround(t_sec * kSec));
+    if (down_at >= horizon) break;
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(machine_count) - 1));
+    const double len_sec =
+        rng.exponential_mean(static_cast<double>(params.recovery_mean) / kSec);
+    const auto length =
+        std::max<SimDuration>(kMsec, static_cast<SimDuration>(std::llround(len_sec * kSec)));
+    // The victim is still down: discard (the draws above are consumed either
+    // way, keeping the stream aligned across parameter tweaks elsewhere).
+    if (down_at < down_until[victim]) continue;
+    down_until[victim] = down_at + length;
+    schedule.push_back(
+        FailureWindow{MachineId(static_cast<std::uint32_t>(victim)), down_at, down_at + length});
+  }
+  return schedule;
+}
+
+}  // namespace vmlp::sched

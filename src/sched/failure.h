@@ -1,0 +1,58 @@
+// Failure injection: machine crash/recovery windows and per-invocation
+// container faults, healed by bounded retry with exponential backoff.
+//
+// The paper's self-healing module (Fig. 7) only heals *delay* — this layer
+// adds the cloud-native failure axis: machines die mid-chain, in-flight
+// microservices are orphaned, their reservations are released (capacity
+// conservation holds through a crash — see the VMLP_AUDIT driver checks),
+// and the lost work is re-executed.
+//
+// The crash schedule is a *pure function of the seed*: it is generated
+// up-front from a dedicated substream, never from simulation state, so a
+// failure-enabled run stays byte-reproducible across thread counts and
+// repeated runs (tools/determinism_check, claim 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vmlp::sched {
+
+struct FailureParams {
+  bool enabled = false;
+  /// Cluster-wide machine crash arrival rate (Poisson, crashes/second).
+  double crashes_per_second = 0.1;
+  /// Mean machine downtime (exponential, floored at 1 ms).
+  SimDuration recovery_mean = 2 * kSec;
+  /// Probability that any one invocation's container dies mid-execution.
+  double container_fault_prob = 0.0;
+  /// An invocation running longer than this is killed and retried (0 = off).
+  SimDuration invocation_timeout = 0;
+  /// A node's execution is retried at most this many times; past the budget
+  /// the request is abandoned (stays unfinished — a QoS violation).
+  int max_retries = 3;
+  /// Backoff before the retry's re-placement: base * factor^(attempt-1).
+  SimDuration retry_backoff_base = 5 * kMsec;
+  double retry_backoff_factor = 2.0;
+};
+
+/// One machine outage: the machine is down during [down_at, up_at).
+struct FailureWindow {
+  MachineId machine;
+  SimTime down_at = 0;
+  SimTime up_at = 0;
+};
+
+/// Build the crash/recovery schedule for one run: Poisson crash arrivals over
+/// [0, horizon) at `crashes_per_second`, each hitting a uniformly random
+/// machine for an exponential downtime. Crashes drawn while the victim is
+/// still down are discarded, so one machine's windows never overlap. The
+/// result is sorted by down_at and depends only on the arguments.
+[[nodiscard]] std::vector<FailureWindow> build_failure_schedule(const FailureParams& params,
+                                                                std::uint64_t seed,
+                                                                SimTime horizon,
+                                                                std::size_t machine_count);
+
+}  // namespace vmlp::sched

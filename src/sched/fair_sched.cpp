@@ -29,6 +29,12 @@ void FairSched::drain() {
     if (ar == nullptr || ar->nodes[node].placed) continue;
 
     const MachineId machine = machine_fewest_containers(driver_->cluster());
+    if (!machine.valid()) {
+      // Every machine is in a crash window: requeue and wait for a recovery
+      // (the periodic tick re-drains).
+      ready_.emplace_front(id, node);
+      return;
+    }
     const cluster::Machine& m = driver_->cluster().machine(machine);
     // Fair share: capacity split equally among the machine's occupants
     // (including the newcomer), floored so a crowded machine still makes

@@ -37,6 +37,14 @@ class IScheduler {
     (void)id;
     (void)node;
   }
+  /// A node lost an execution or placement to a failure (machine crash,
+  /// container fault, invocation timeout) and its dependencies are met; the
+  /// driver's bounded-retry policy wants it re-placed. Default: blind retry —
+  /// treat it exactly like a freshly unblocked node. v-MLP overrides this to
+  /// route orphans through its relocation path.
+  virtual void on_node_orphaned(RequestId id, std::size_t node) {
+    on_node_unblocked(id, node);
+  }
   /// A node started executing. Default: ignore.
   virtual void on_node_started(RequestId id, std::size_t node) {
     (void)id;

@@ -15,12 +15,17 @@ class TimeSeries {
   /// Buckets of width `bucket` covering [0, horizon).
   TimeSeries(SimDuration bucket, SimTime horizon);
 
-  /// Record an observation at time t (clamped into range).
+  /// Record an observation at time t. Samples outside [0, horizon) are
+  /// dropped (and counted) rather than folded into the edge buckets — folding
+  /// silently corrupts the first/last bucket means. Under VMLP_AUDIT an
+  /// out-of-range sample is a hard error: it means the caller's clock is off.
   void add(SimTime t, double value);
   /// Record an increment (counting semantics: bucket value = sum not mean).
   void increment(SimTime t, double delta = 1.0);
 
   [[nodiscard]] std::size_t bucket_count() const { return sums_.size(); }
+  /// Observations rejected because t < 0 or t >= horizon.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
   [[nodiscard]] SimTime bucket_start(std::size_t i) const;
   [[nodiscard]] SimDuration bucket_width() const { return bucket_; }
   /// Mean of observations in bucket i; 0 when the bucket is empty.
@@ -35,11 +40,16 @@ class TimeSeries {
   [[nodiscard]] std::vector<double> sum_series() const;
 
  private:
+  /// Bucket for an in-range t, or npos when the sample must be dropped.
   [[nodiscard]] std::size_t index(SimTime t) const;
 
+  static constexpr std::size_t kOutOfRange = static_cast<std::size_t>(-1);
+
   SimDuration bucket_;
+  SimTime horizon_;
   std::vector<double> sums_;
   std::vector<std::size_t> counts_;
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace vmlp::stats

@@ -1,0 +1,244 @@
+// Failure injection: crash-schedule purity, orphan/retry healing through the
+// driver, retry-budget abandonment, and graceful degradation of every scheme.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/audit.h"
+#include "loadgen/generator.h"
+#include "mlp/vmlp.h"
+#include "sched/cur_sched.h"
+#include "sched/driver.h"
+#include "sched/fair_sched.h"
+#include "sched/failure.h"
+#include "sched/full_profile.h"
+#include "sched/part_profile.h"
+#include "workloads/suite.h"
+
+namespace vmlp::sched {
+namespace {
+
+FailureParams enabled_failure() {
+  FailureParams f;
+  f.enabled = true;
+  f.crashes_per_second = 0.5;
+  f.recovery_mean = 500 * kMsec;
+  return f;
+}
+
+TEST(FailureSchedule, PureFunctionOfSeed) {
+  const FailureParams f = enabled_failure();
+  const auto a = build_failure_schedule(f, 2022, 60 * kSec, 20);
+  const auto b = build_failure_schedule(f, 2022, 60 * kSec, 20);
+  const auto c = build_failure_schedule(f, 7, 60 * kSec, 20);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].machine, b[i].machine);
+    EXPECT_EQ(a[i].down_at, b[i].down_at);
+    EXPECT_EQ(a[i].up_at, b[i].up_at);
+  }
+  // A different seed must actually move the windows.
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = !(a[i].machine == c[i].machine) || a[i].down_at != c[i].down_at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FailureSchedule, WindowsWellFormedAndNonOverlappingPerMachine) {
+  FailureParams f = enabled_failure();
+  f.crashes_per_second = 5.0;  // force collisions so the discard path runs
+  f.recovery_mean = 2 * kSec;
+  const std::size_t machines = 4;
+  const SimTime horizon = 30 * kSec;
+  const auto schedule = build_failure_schedule(f, 2022, horizon, machines);
+  ASSERT_FALSE(schedule.empty());
+  std::vector<SimTime> last_up(machines, 0);
+  SimTime prev_down = 0;
+  for (const auto& w : schedule) {
+    ASSERT_LT(w.machine.value(), machines);
+    EXPECT_GE(w.down_at, 0);
+    EXPECT_LT(w.down_at, horizon);
+    EXPECT_GT(w.up_at, w.down_at);
+    EXPECT_GE(w.down_at, prev_down);  // sorted by crash time
+    prev_down = w.down_at;
+    // One machine's windows never overlap (the driver asserts up() flips).
+    EXPECT_GE(w.down_at, last_up[w.machine.value()]);
+    last_up[w.machine.value()] = w.up_at;
+  }
+}
+
+TEST(FailureSchedule, DisabledOrDegenerateIsEmpty) {
+  FailureParams off;
+  EXPECT_TRUE(build_failure_schedule(off, 2022, 10 * kSec, 10).empty());
+  FailureParams zero_rate = enabled_failure();
+  zero_rate.crashes_per_second = 0.0;
+  EXPECT_TRUE(build_failure_schedule(zero_rate, 2022, 10 * kSec, 10).empty());
+  EXPECT_TRUE(build_failure_schedule(enabled_failure(), 2022, 10 * kSec, 0).empty());
+}
+
+// ---- driver integration ---------------------------------------------------
+
+DriverParams failure_params() {
+  DriverParams p;
+  p.horizon = 10 * kSec;
+  p.cluster.machine_count = 10;
+  p.machines_per_rack = 5;
+  p.seed = 2022;
+  p.failure = enabled_failure();
+  return p;
+}
+
+std::vector<loadgen::Arrival> small_stream(const app::Application& application, double qps,
+                                           SimTime horizon) {
+  loadgen::PatternParams pp;
+  pp.horizon = horizon;
+  pp.base_rate = qps;
+  pp.max_rate = qps * 2;
+  pp.peak_time = horizon / 2;
+  const auto pattern = loadgen::WorkloadPattern::make(loadgen::PatternKind::kL1Pulse, pp, 3);
+  Rng rng(3);
+  return loadgen::generate_arrivals(pattern, loadgen::RequestMix::all(application), rng);
+}
+
+RunResult run_with_failures(IScheduler& sched, const DriverParams& p, double qps = 10.0) {
+  auto application = workloads::make_benchmark_suite();
+  SimulationDriver driver(*application, sched, p);
+  driver.load_arrivals(small_stream(*application, qps, p.horizon));
+  return driver.run();
+}
+
+/// Audit-on crash run: every conservation check in the purge path is live,
+/// and the stream must still mostly complete (retries heal the lost work).
+TEST(FailureDriver, CrashesOrphanAndRetriesHealUnderAudit) {
+  const bool prev = audit::enabled();
+  audit::set_enabled(true);
+  FairSched sched;
+  auto application = workloads::make_benchmark_suite();
+  const DriverParams p = failure_params();
+  SimulationDriver driver(*application, sched, p);
+  driver.load_arrivals(small_stream(*application, 10.0, p.horizon));
+  ASSERT_FALSE(driver.failure_schedule().empty());
+  const RunResult r = driver.run();
+  audit::set_enabled(prev);
+
+  EXPECT_GT(r.machine_crashes, 0u);
+  EXPECT_EQ(r.machine_crashes, driver.failure_schedule().size());
+  EXPECT_GT(r.arrived, 50u);
+  // Failures cost work but must not collapse the run.
+  EXPECT_GT(static_cast<double>(r.completed), 0.8 * static_cast<double>(r.arrived));
+  EXPECT_GT(r.goodput_rps, 0.0);
+  // Crashed mid-flight work shows up either as orphaned executions or voided
+  // placements, and each orphaned execution schedules a retry.
+  const auto& c = driver.counters();
+  EXPECT_GT(c.orphaned_running + c.orphaned_pending, 0u);
+  EXPECT_EQ(c.retries_scheduled + c.retries_dropped, c.orphaned_running);
+  EXPECT_EQ(c.machine_crashes, r.machine_crashes);
+  EXPECT_LE(c.machine_recoveries, c.machine_crashes);
+}
+
+TEST(FailureDriver, DisabledFailureLeavesCountersZero) {
+  FairSched sched;
+  DriverParams p = failure_params();
+  p.failure = FailureParams{};
+  const RunResult r = run_with_failures(sched, p);
+  EXPECT_EQ(r.machine_crashes, 0u);
+  EXPECT_EQ(r.container_faults, 0u);
+  EXPECT_EQ(r.invocation_timeouts, 0u);
+  EXPECT_EQ(r.orphaned_nodes, 0u);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.abandoned_requests, 0u);
+}
+
+TEST(FailureDriver, ContainerFaultsRetryAndComplete) {
+  FairSched sched;
+  DriverParams p = failure_params();
+  p.failure.crashes_per_second = 0.0;  // isolate the fault path
+  p.failure.container_fault_prob = 0.2;
+  const RunResult r = run_with_failures(sched, p);
+  EXPECT_EQ(r.machine_crashes, 0u);
+  EXPECT_GT(r.container_faults, 0u);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_EQ(r.orphaned_nodes, r.container_faults);
+  EXPECT_GT(static_cast<double>(r.completed), 0.8 * static_cast<double>(r.arrived));
+}
+
+TEST(FailureDriver, InvocationTimeoutKillsLongRunners) {
+  FairSched sched;
+  DriverParams p = failure_params();
+  p.failure.crashes_per_second = 0.0;
+  p.failure.invocation_timeout = 10 * kMsec;  // media/compose stages run longer
+  const RunResult r = run_with_failures(sched, p);
+  EXPECT_GT(r.invocation_timeouts, 0u);
+  EXPECT_GT(r.retries, 0u);
+}
+
+TEST(FailureDriver, RetryBudgetExhaustionAbandonsRequests) {
+  FairSched sched;
+  DriverParams p = failure_params();
+  p.horizon = 5 * kSec;
+  p.failure.crashes_per_second = 0.0;
+  p.failure.container_fault_prob = 1.0;  // every execution dies mid-flight
+  p.failure.max_retries = 1;
+  const RunResult r = run_with_failures(sched, p, 4.0);
+  EXPECT_GT(r.arrived, 0u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_GT(r.abandoned_requests, 0u);
+  EXPECT_DOUBLE_EQ(r.goodput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(r.qos_violation_rate, 1.0);
+}
+
+TEST(FailureDriver, DegradedCompletionsFeedOrphanLatency) {
+  FairSched sched;
+  DriverParams p = failure_params();
+  p.failure.crashes_per_second = 0.0;
+  p.failure.container_fault_prob = 0.3;
+  const RunResult r = run_with_failures(sched, p);
+  ASSERT_GT(r.container_faults, 0u);
+  // Some faulted request completed after healing, so its (longer) latency
+  // must be recorded.
+  EXPECT_GT(r.orphaned_mean_latency_us, 0.0);
+  EXPECT_GE(r.orphaned_p99_latency_us, r.orphaned_mean_latency_us);
+}
+
+/// Every scheme must degrade gracefully under the same crash schedule:
+/// no crashes on down machines, no conservation violations, work completes.
+TEST(FailureDriver, AllSchemesSurviveCrashesUnderAudit) {
+  const bool prev = audit::enabled();
+  audit::set_enabled(true);
+  const DriverParams p = failure_params();
+
+  std::vector<std::unique_ptr<IScheduler>> schemes;
+  schemes.push_back(std::make_unique<FairSched>());
+  schemes.push_back(std::make_unique<CurSched>());
+  schemes.push_back(std::make_unique<PartProfile>());
+  schemes.push_back(std::make_unique<FullProfile>());
+  schemes.push_back(std::make_unique<mlp::VmlpScheduler>(mlp::VmlpParams{}, p.seed));
+
+  for (auto& scheme : schemes) {
+    SCOPED_TRACE(scheme->name());
+    const RunResult r = run_with_failures(*scheme, p);
+    EXPECT_GT(r.machine_crashes, 0u);
+    EXPECT_GT(static_cast<double>(r.completed), 0.6 * static_cast<double>(r.arrived));
+  }
+  audit::set_enabled(prev);
+}
+
+/// v-MLP's orphan healing rides its relocation machinery, not blind retry.
+TEST(FailureDriver, VmlpRoutesOrphansThroughRelocation) {
+  const bool prev = audit::enabled();
+  audit::set_enabled(true);
+  DriverParams p = failure_params();
+  p.failure.crashes_per_second = 1.0;
+  mlp::VmlpScheduler vmlp(mlp::VmlpParams{}, p.seed);
+  const RunResult r = run_with_failures(vmlp, p);
+  audit::set_enabled(prev);
+  EXPECT_GT(r.machine_crashes, 0u);
+  EXPECT_GT(vmlp.orphan_relocations(), 0u);
+}
+
+}  // namespace
+}  // namespace vmlp::sched

@@ -209,6 +209,39 @@ TEST_F(MixTest, ArrivalsConcentrateAtPeak) {
   EXPECT_GT(peak, quiet * 2);
 }
 
+TEST(QuantizeArrival, RejectsRoundingAcrossTheHorizon) {
+  const SimTime horizon = 1 * kSec;  // 1e6 ticks
+  // llround rounds half away from zero: a candidate 0.4 ticks under the
+  // horizon lands ON it and must be rejected (regression: it used to be
+  // emitted at t == horizon, an arrival the QoS window never sees).
+  EXPECT_EQ(quantize_arrival((1e6 - 0.4) / 1e6, horizon), -1);
+  // 0.6 ticks under rounds down to the last representable tick.
+  EXPECT_EQ(quantize_arrival((1e6 - 0.6) / 1e6, horizon), horizon - 1);
+  // At or past the horizon is always rejected.
+  EXPECT_EQ(quantize_arrival(1.0, horizon), -1);
+  EXPECT_EQ(quantize_arrival(1.5, horizon), -1);
+  // Negative candidates never map to tick 0.
+  EXPECT_EQ(quantize_arrival(-0.25, horizon), -1);
+  // Normal interior points quantize to the nearest tick.
+  EXPECT_EQ(quantize_arrival(0.5, horizon), 500 * kMsec);
+  EXPECT_EQ(quantize_arrival(0.0, horizon), 0);
+}
+
+TEST_F(MixTest, HighRatioEndpointsNeverSampleZeroWeightTypes) {
+  // At ratio 0.0 every high-V_r type has weight 0; at 1.0 every non-high
+  // type does. weighted_index must never emit a zero-weight entry, even on
+  // the floating-point-residue fallback path.
+  for (const double ratio : {0.0, 1.0}) {
+    const auto mix = RequestMix::with_high_ratio(*suite_, ratio);
+    Rng rng(17);
+    for (int i = 0; i < 5000; ++i) {
+      const RequestTypeId drawn = mix.sample(rng);
+      const bool is_high = suite_->band(drawn) == app::VolatilityBand::kHigh;
+      EXPECT_EQ(is_high, ratio == 1.0) << "ratio=" << ratio << " draw=" << i;
+    }
+  }
+}
+
 TEST_F(MixTest, GeneratorDeterministic) {
   const auto pattern = WorkloadPattern::make(PatternKind::kL2Fluctuating, default_params(), 9);
   Rng rng1(5), rng2(5);

@@ -176,6 +176,24 @@ TEST(Rng, WeightedIndexProportions) {
   EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
 }
 
+TEST(Rng, WeightedIndexNeverReturnsZeroWeightTail) {
+  // Regression: the floating-point-residue fallback used to return the last
+  // *bucket*, which a trailing zero weight could occupy. Zero-weight entries
+  // must be unreachable from every path.
+  Rng rng(41);
+  const std::vector<double> tail_zero{0.3, 0.7, 0.0, 0.0};
+  for (int i = 0; i < 200000; ++i) {
+    const std::size_t idx = rng.weighted_index(tail_zero);
+    ASSERT_LT(idx, 2u) << "zero-weight tail entry sampled at draw " << i;
+  }
+  // Mixed zeros: only the positive-weight entries may appear.
+  const std::vector<double> sparse{0.0, 1e-12, 0.0, 1e-12, 0.0};
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t idx = rng.weighted_index(sparse);
+    ASSERT_TRUE(idx == 1 || idx == 3) << "idx=" << idx;
+  }
+}
+
 TEST(Rng, WeightedIndexRejectsDegenerate) {
   Rng rng(31);
   std::vector<double> empty;

@@ -3,8 +3,11 @@
 
 #include <cmath>
 
+#include "common/audit.h"
 #include "common/error.h"
+#include "common/rng.h"
 #include "stats/histogram.h"
+#include "stats/p2_quantile.h"
 #include "stats/percentile.h"
 #include "stats/qos.h"
 #include "stats/summary.h"
@@ -207,12 +210,35 @@ TEST(TimeSeries, BucketMeans) {
   EXPECT_EQ(ts.samples(0), 2u);
 }
 
-TEST(TimeSeries, ClampsOutOfRange) {
+TEST(TimeSeries, DropsOutOfRangeSamples) {
+  const bool prev = audit::enabled();
+  audit::set_enabled(false);
   TimeSeries ts(kSec, 2 * kSec);
-  ts.add(-5, 1.0);
-  ts.add(100 * kSec, 2.0);
-  EXPECT_EQ(ts.samples(0), 1u);
+  ts.add(-5, 1.0);         // before the window
+  ts.add(2 * kSec, 2.0);   // t == horizon: first time outside the last bucket
+  ts.add(100 * kSec, 3.0); // far past
+  ts.increment(-1);
+  EXPECT_EQ(ts.samples(0), 0u);
+  EXPECT_EQ(ts.samples(1), 0u);
+  EXPECT_DOUBLE_EQ(ts.sum(0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.sum(1), 0.0);
+  EXPECT_EQ(ts.dropped(), 4u);
+  ts.add(2 * kSec - 1, 5.0);  // last representable instant still lands
   EXPECT_EQ(ts.samples(1), 1u);
+  EXPECT_EQ(ts.dropped(), 4u);
+  audit::set_enabled(prev);
+}
+
+TEST(TimeSeries, OutOfRangeThrowsUnderAudit) {
+  const bool prev = audit::enabled();
+  audit::set_enabled(true);
+  TimeSeries ts(kSec, 2 * kSec);
+  EXPECT_THROW(ts.add(2 * kSec, 1.0), InvariantError);
+  EXPECT_THROW(ts.add(-1, 1.0), InvariantError);
+  EXPECT_THROW(ts.increment(3 * kSec), InvariantError);
+  EXPECT_NO_THROW(ts.add(0, 1.0));
+  EXPECT_NO_THROW(ts.add(2 * kSec - 1, 1.0));
+  audit::set_enabled(prev);
 }
 
 TEST(TimeSeries, IncrementCountsSum) {
@@ -229,6 +255,72 @@ TEST(TimeSeries, BucketStarts) {
   TimeSeries ts(250 * kMsec, kSec);
   EXPECT_EQ(ts.bucket_count(), 4u);
   EXPECT_EQ(ts.bucket_start(2), 500 * kMsec);
+}
+
+// P² streaming estimates vs exact order statistics (satellite coverage): the
+// estimator must stay within a few percent of SampleSet::quantile on light-
+// and heavy-tailed streams at the quantiles the monitors actually track.
+void check_p2_against_exact(const char* label, const std::vector<double>& xs, double q,
+                            double rel_tol) {
+  P2Quantile p2(q);
+  SampleSet exact;
+  for (double x : xs) {
+    p2.add(x);
+    exact.add(x);
+  }
+  const double want = exact.quantile(q);
+  const double got = p2.value();
+  ASSERT_GT(want, 0.0) << label;
+  EXPECT_NEAR(got, want, rel_tol * want) << label << " q=" << q;
+}
+
+TEST(P2Quantile, TracksExactOnUniformStream) {
+  Rng rng(2022);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.uniform(10.0, 110.0);
+  for (double q : {0.5, 0.9, 0.99}) check_p2_against_exact("uniform", xs, q, 0.02);
+}
+
+TEST(P2Quantile, TracksExactOnLognormalStream) {
+  Rng rng(2022);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.lognormal(1.0, 0.75);
+  for (double q : {0.5, 0.9, 0.99}) check_p2_against_exact("lognormal", xs, q, 0.05);
+}
+
+TEST(P2Quantile, TracksExactOnParetoStream) {
+  Rng rng(2022);
+  std::vector<double> xs(20000);
+  // alpha = 2.5: heavy tail but finite variance, the regime P² is rated for.
+  for (double& x : xs) x = rng.pareto(1.0, 2.5);
+  check_p2_against_exact("pareto", xs, 0.5, 0.05);
+  check_p2_against_exact("pareto", xs, 0.9, 0.10);
+  check_p2_against_exact("pareto", xs, 0.99, 0.25);
+}
+
+TEST(P2Quantile, FewerThanFiveSamplesIsExact) {
+  // The pre-initialization path must agree with SampleSet's interpolation
+  // bit-for-bit: both use pos = q * (n - 1) with linear interpolation.
+  const std::vector<double> xs = {42.0, 7.0, 19.0, 88.0};
+  for (std::size_t n = 1; n <= xs.size(); ++n) {
+    for (double q : {0.5, 0.9, 0.99}) {
+      P2Quantile p2(q);
+      SampleSet exact;
+      for (std::size_t i = 0; i < n; ++i) {
+        p2.add(xs[i]);
+        exact.add(xs[i]);
+      }
+      EXPECT_EQ(p2.count(), n);
+      EXPECT_DOUBLE_EQ(p2.value(), exact.quantile(q)) << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(P2Quantile, EmptyIsNanAndBadQThrows) {
+  P2Quantile p2(0.5);
+  EXPECT_TRUE(std::isnan(p2.value()));
+  EXPECT_THROW(P2Quantile(0.0), InvariantError);
+  EXPECT_THROW(P2Quantile(1.0), InvariantError);
 }
 
 TEST(Qos, ViolationAccounting) {
