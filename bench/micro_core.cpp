@@ -42,8 +42,15 @@ void BM_EngineCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCancel);
 
+// Ledger benchmarks run once per backend: Arg(0) = the indexed flat vector
+// (the production fast path), Arg(1) = the legacy map-backed reference.
+cluster::ReservationLedger::Backend ledger_backend(const benchmark::State& state) {
+  return state.range(0) == 0 ? cluster::ReservationLedger::Backend::kFlat
+                             : cluster::ReservationLedger::Backend::kLegacyMap;
+}
+
 void BM_LedgerReserveRelease(benchmark::State& state) {
-  cluster::ReservationLedger ledger({4000, 16384, 1000});
+  cluster::ReservationLedger ledger({4000, 16384, 1000}, ledger_backend(state));
   Rng rng(1);
   SimTime t = 0;
   for (auto _ : state) {
@@ -58,10 +65,10 @@ void BM_LedgerReserveRelease(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_LedgerReserveRelease);
+BENCHMARK(BM_LedgerReserveRelease)->Arg(0)->Arg(1);
 
 void BM_LedgerFits(benchmark::State& state) {
-  cluster::ReservationLedger ledger({4000, 16384, 1000});
+  cluster::ReservationLedger ledger({4000, 16384, 1000}, ledger_backend(state));
   Rng rng(2);
   // Pre-populate a realistic profile: ~64 overlapping reservations.
   for (int i = 0; i < 64; ++i) {
@@ -73,7 +80,38 @@ void BM_LedgerFits(benchmark::State& state) {
     benchmark::DoNotOptimize(ledger.fits(t0, t0 + 10000, {1500, 512, 100}));
   }
 }
-BENCHMARK(BM_LedgerFits);
+BENCHMARK(BM_LedgerFits)->Arg(0)->Arg(1);
+
+void BM_LedgerFitsContended(benchmark::State& state) {
+  // A saturated profile (~512 overlapping reservations) where most probes
+  // fail — the admission-storm regime the block index exists for.
+  cluster::ReservationLedger ledger({4000, 16384, 1000}, ledger_backend(state));
+  Rng rng(7);
+  for (int i = 0; i < 512; ++i) {
+    const SimTime t0 = rng.uniform_int(0, 100000);
+    ledger.reserve(t0, t0 + rng.uniform_int(1000, 30000), {600, 256, 50});
+  }
+  for (auto _ : state) {
+    const SimTime t0 = rng.uniform_int(0, 100000);
+    benchmark::DoNotOptimize(ledger.fits(t0, t0 + 10000, {1500, 512, 100}));
+  }
+}
+BENCHMARK(BM_LedgerFitsContended)->Arg(0)->Arg(1);
+
+void BM_LedgerEarliestFit(benchmark::State& state) {
+  cluster::ReservationLedger ledger({4000, 16384, 1000}, ledger_backend(state));
+  Rng rng(8);
+  for (int i = 0; i < 256; ++i) {
+    const SimTime t0 = rng.uniform_int(0, 100000);
+    ledger.reserve(t0, t0 + rng.uniform_int(1000, 30000), {700, 256, 50});
+  }
+  for (auto _ : state) {
+    const SimTime from = rng.uniform_int(0, 100000);
+    benchmark::DoNotOptimize(
+        ledger.earliest_fit(from, 5000, {2000, 512, 100}, /*horizon=*/200000));
+  }
+}
+BENCHMARK(BM_LedgerEarliestFit)->Arg(0)->Arg(1);
 
 void BM_RngLognormal(benchmark::State& state) {
   Rng rng(3);

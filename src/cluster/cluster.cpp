@@ -8,19 +8,12 @@ Cluster::Cluster(const ClusterParams& params) {
   VMLP_CHECK_MSG(params.machine_count > 0, "cluster needs machines");
   VMLP_CHECK_MSG(!params.machine_capacity.any_negative(), "negative machine capacity");
   machines_.reserve(params.machine_count);
+  const auto backend = params.legacy_ledger ? ReservationLedger::Backend::kLegacyMap
+                                            : ReservationLedger::Backend::kFlat;
   for (std::size_t i = 0; i < params.machine_count; ++i) {
-    machines_.emplace_back(MachineId(static_cast<std::uint32_t>(i)), params.machine_capacity);
+    machines_.emplace_back(MachineId(static_cast<std::uint32_t>(i)), params.machine_capacity,
+                           backend);
   }
-}
-
-Machine& Cluster::machine(MachineId id) {
-  VMLP_CHECK_MSG(id.valid() && id.value() < machines_.size(), "machine id out of range");
-  return machines_[id.value()];
-}
-
-const Machine& Cluster::machine(MachineId id) const {
-  VMLP_CHECK_MSG(id.valid() && id.value() < machines_.size(), "machine id out of range");
-  return machines_[id.value()];
 }
 
 double Cluster::overall_utilization() const {

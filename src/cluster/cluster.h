@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/machine.h"
+#include "common/error.h"
 #include "common/types.h"
 
 namespace vmlp::cluster {
@@ -14,6 +15,11 @@ struct ClusterParams {
   // 4-core worker nodes (Table IV.A's cluster averages 6 cores/node; smaller
   // nodes keep the paper's 1000 req/s peak in contention territory).
   ResourceVector machine_capacity{4000.0, 16384.0, 1000.0};
+  /// Back every machine's ledger with the legacy map representation instead
+  /// of the indexed flat vector — the differential-testing reference for the
+  /// admission fast path (tools/determinism_check claim 5). Queries are
+  /// decision-identical across backends; only speed differs.
+  bool legacy_ledger = false;
 };
 
 class Cluster {
@@ -21,8 +27,16 @@ class Cluster {
   explicit Cluster(const ClusterParams& params);
 
   [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
-  [[nodiscard]] Machine& machine(MachineId id);
-  [[nodiscard]] const Machine& machine(MachineId id) const;
+  // Inline: the admission probe loop resolves machines tens of millions of
+  // times per contended run; an out-of-line call dominated the lookup.
+  [[nodiscard]] Machine& machine(MachineId id) {
+    VMLP_CHECK_MSG(id.valid() && id.value() < machines_.size(), "machine id out of range");
+    return machines_[id.value()];
+  }
+  [[nodiscard]] const Machine& machine(MachineId id) const {
+    VMLP_CHECK_MSG(id.valid() && id.value() < machines_.size(), "machine id out of range");
+    return machines_[id.value()];
+  }
   [[nodiscard]] std::vector<Machine>& machines() { return machines_; }
   [[nodiscard]] const std::vector<Machine>& machines() const { return machines_; }
 

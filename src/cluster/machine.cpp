@@ -6,8 +6,9 @@
 
 namespace vmlp::cluster {
 
-Machine::Machine(MachineId id, ResourceVector capacity)
-    : id_(id), capacity_(capacity), ledger_(capacity) {
+Machine::Machine(MachineId id, ResourceVector capacity,
+                 ReservationLedger::Backend ledger_backend)
+    : id_(id), capacity_(capacity), ledger_(capacity, ledger_backend) {
   VMLP_CHECK_MSG(id.valid(), "invalid machine id");
 }
 

@@ -15,7 +15,8 @@ namespace vmlp::cluster {
 
 class Machine {
  public:
-  Machine(MachineId id, ResourceVector capacity);
+  Machine(MachineId id, ResourceVector capacity,
+          ReservationLedger::Backend ledger_backend = ReservationLedger::Backend::kFlat);
 
   [[nodiscard]] MachineId id() const { return id_; }
   [[nodiscard]] const ResourceVector& capacity() const { return capacity_; }

@@ -8,23 +8,46 @@
 // present load. Non-reserving baseline schedulers use it degenerately
 // (reserve from "now" with no lookahead).
 //
-// Representation: std::map<SimTime, ResourceVector> where each entry gives
-// the usage level from its key until the next key. The map always contains a
-// segment starting at 0 (or the compaction point).
+// Two interchangeable backends (selected per ledger at construction):
+//
+//  * kFlat (default) — the admission fast path. Segments live in a flat
+//    sorted vector (cache-friendly iteration, batched reserve/release
+//    edits). Each segment caches a scalar *headroom* (the tightest
+//    remaining-capacity fraction across resource dimensions), and a lazily
+//    rebuilt coarse index stores per-block component-wise max/min levels
+//    plus the whole-profile peak. `fits` / `max_usage` / `available` then
+//    answer by walking blocks instead of every segment in the window, and
+//    an uncontended window is accepted from the cached peak alone.
+//  * kLegacyMap — the original std::map<SimTime, ResourceVector>
+//    representation, kept as a differential-testing reference. Every query
+//    is **decision-identical** across backends: both maintain the same
+//    canonical segment profile and perform the same floating-point
+//    arithmetic in the same order, so fits/max_usage/available/usage_at/
+//    earliest_fit return byte-identical results (tools/determinism_check
+//    claim 5 enforces this end-to-end).
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <vector>
 
 #include "cluster/resources.h"
 #include "common/types.h"
 
 namespace vmlp::cluster {
 
+/// "No covering-index hint" sentinel for ReservationLedger::fits /
+/// span_could_fit. See the hint contract on fits().
+inline constexpr std::size_t kNoCoverHint = static_cast<std::size_t>(-1);
+
 class ReservationLedger {
  public:
-  explicit ReservationLedger(ResourceVector capacity);
+  enum class Backend { kFlat, kLegacyMap };
+
+  explicit ReservationLedger(ResourceVector capacity, Backend backend = Backend::kFlat);
 
   [[nodiscard]] const ResourceVector& capacity() const { return capacity_; }
+  [[nodiscard]] Backend backend() const { return backend_; }
 
   /// Add `r` to the usage profile over [t0, t1). Overbooking is legal — the
   /// execution model punishes it — but tracked; `fits` tells schedulers
@@ -38,16 +61,52 @@ class ReservationLedger {
   [[nodiscard]] ResourceVector usage_at(SimTime t) const;
   /// Component-wise max usage over [t0, t1).
   [[nodiscard]] ResourceVector max_usage(SimTime t0, SimTime t1) const;
+  /// Component-wise min usage over [t0, t1) — the *best* level the window
+  /// ever reaches. Admission quick-rejects use it: if demand does not fit
+  /// even against the window minimum, no start inside the window can admit.
+  [[nodiscard]] ResourceVector min_usage(SimTime t0, SimTime t1) const;
+  /// Exactly `(min_usage(t0, t1) + r).fits_within(capacity())`, but with an
+  /// early exit: the running min only decreases as segments fold in and
+  /// double addition is monotone per component, so the first partial min
+  /// that admits the demand already decides the answer. Admission probe
+  /// pruning calls this on every contended machine; the common "machine is
+  /// probeable" verdict usually resolves within a segment or two instead of
+  /// walking the whole multi-step span.
+  /// `cover_hint` (optional, flat backend): caller-held covering-index
+  /// cache for repeated queries with nearby window starts. Any value is
+  /// accepted — a hint that no longer names a segment starting at or before
+  /// t0 in the *current* profile (kNoCoverHint, out of range, or left ahead
+  /// by mutations) falls back to the binary search; a valid one is walked
+  /// forward to covering_index(t0), which is what the hint holds on exit.
+  /// The admission probe loop keeps one hint per machine across stages, so
+  /// most probes skip the binary search entirely. The covering index found
+  /// is identical either way — results do not depend on the hint.
+  [[nodiscard]] bool span_could_fit(SimTime t0, SimTime t1, const ResourceVector& r,
+                                    std::size_t* cover_hint = nullptr) const;
   /// capacity - max_usage over the window, clamped at 0.
   [[nodiscard]] ResourceVector available(SimTime t0, SimTime t1) const;
   /// Algorithm 1's admission test: does `r` fit within spare capacity over
-  /// the whole window [t0, t1)?
-  [[nodiscard]] bool fits(SimTime t0, SimTime t1, const ResourceVector& r) const;
+  /// the whole window [t0, t1)? `cover_hint`: see span_could_fit.
+  /// `refit_out` (optional, flat backend): when the test fails, receives the
+  /// start of the first segment after the maximal run of blocking segments
+  /// containing the first blocker found (kTimeInfinity when the run reaches
+  /// the profile tail) — the same skip bound earliest_fit uses. Any window of
+  /// the same demand and duration starting at or after t0 but before that
+  /// bound still overlaps the run and provably fails, so the admission probe
+  /// loop can discard those slip steps without re-walking the ledger. Left
+  /// untouched when the test passes (or on the legacy backend).
+  [[nodiscard]] bool fits(SimTime t0, SimTime t1, const ResourceVector& r,
+                          std::size_t* cover_hint = nullptr, SimTime* refit_out = nullptr) const;
 
   /// First time >= `from` at which `r` fits for `duration`, searching segment
-  /// boundaries up to `horizon`. Returns kTimeInfinity if none.
+  /// boundaries up to `horizon`. Returns kTimeInfinity if none. The flat
+  /// backend skips directly past the maximal run of blocking segments after
+  /// each failed probe; the legacy backend advances one boundary at a time
+  /// (the pre-fast-path behaviour, kept as the reference). `probes_out`, when
+  /// non-null, receives the number of candidate start times evaluated — the
+  /// probe-count regression tests pin the flat backend's skipping.
   [[nodiscard]] SimTime earliest_fit(SimTime from, SimDuration duration, const ResourceVector& r,
-                                     SimTime horizon) const;
+                                     SimTime horizon, std::size_t* probes_out = nullptr) const;
 
   /// Drop profile detail before `t` (memory bound for long runs). The level
   /// at `t` is preserved.
@@ -55,21 +114,89 @@ class ReservationLedger {
 
   /// Deep structural validation (audit tier): the profile is non-empty,
   /// every level is finite and non-negative, and the segment list is
-  /// canonical (no adjacent equal levels). Throws
+  /// canonical (no adjacent equal levels). The flat backend additionally
+  /// checks segment ordering and cached-headroom consistency. Throws
   /// InvariantError on violation. Called automatically after mutations when
   /// vmlp::audit::enabled(); also callable directly from tests.
   void audit_invariants() const;
 
-  [[nodiscard]] std::size_t segment_count() const { return profile_.size(); }
+  [[nodiscard]] std::size_t segment_count() const {
+    return backend_ == Backend::kFlat ? segs_.size() : profile_.size();
+  }
 
  private:
+  /// One piecewise-constant segment: the usage level from `start` until the
+  /// next segment's start (the last segment extends to infinity).
+  struct Segment {
+    SimTime start;
+    ResourceVector level;
+    /// Cached min over dimensions of (capacity - level) / capacity — the
+    /// scalar headroom fraction. A demand whose own max capacity-fraction is
+    /// below this provably fits the segment without the vector compare.
+    double headroom;
+  };
+
+  /// Segments per coarse-index block (32): small enough that partial-block
+  /// walks stay short, large enough that indexed window queries touch ~n/32
+  /// entries.
+  static constexpr std::size_t kBlockShift = 5;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
+
+  // --- flat backend ------------------------------------------------------
+  [[nodiscard]] double headroom_of(const ResourceVector& level) const;
+  /// Max capacity-fraction the demand needs in any dimension (+inf when it
+  /// needs a dimension the machine lacks). Compared against cached headroom
+  /// with a safety margin so the scalar fast path never accepts a demand the
+  /// exact vector compare would reject.
+  [[nodiscard]] double demand_fraction(const ResourceVector& r) const;
+  /// Index of the segment covering t. Throws if t precedes the origin.
+  [[nodiscard]] std::size_t covering_index(SimTime t) const;
+  /// covering_index(t) resolved through an optional caller-held hint (see
+  /// fits): a valid hint turns the binary search into a short forward walk.
+  [[nodiscard]] std::size_t hinted_covering_index(SimTime t, std::size_t* cover_hint) const;
+  /// First segment index with start >= t.
+  [[nodiscard]] std::size_t lower_index(SimTime t) const;
+  /// Ensure a segment starts exactly at t; returns its index.
+  std::size_t split_index_at(SimTime t);
+  void coalesce_flat(SimTime t0, SimTime t1);
+  /// Rebuild peak/block caches if a mutation invalidated them.
+  void ensure_index() const;
+  [[nodiscard]] bool segment_blocks(const Segment& s, const ResourceVector& r,
+                                    double frac) const;
+  /// Start of the first segment after the maximal run of blocking segments
+  /// beginning at `first_blocking` (kTimeInfinity when the run reaches the
+  /// profile tail). The fits() refit bound — see refit_out.
+  [[nodiscard]] SimTime blocking_run_end(std::size_t first_blocking, const ResourceVector& r,
+                                         double frac) const;
+
+  // --- legacy backend ----------------------------------------------------
   /// Ensure a map key exists exactly at t, splitting the covering segment.
   std::map<SimTime, ResourceVector>::iterator split_at(SimTime t);
   /// Merge adjacent segments with equal levels around the touched range.
   void coalesce(SimTime t0, SimTime t1);
 
   ResourceVector capacity_;
-  std::map<SimTime, ResourceVector> profile_;
+  /// Component-wise 1/capacity (0 where capacity is 0) for headroom math.
+  ResourceVector inv_capacity_;
+  Backend backend_;
+
+  std::vector<Segment> segs_;  // flat backend storage
+  // Coarse window-max index over the flat segments, rebuilt lazily on the
+  // first query after a mutation — and only from `dirty_from_` onward.
+  // Mutations target windows at or after "now" while the profile keeps up to
+  // a second of history in front, so the long historical prefix of blocks
+  // stays valid and a rebuild touches only the recent tail. Erase/insert
+  // shifts indices only at or after the mutation point, never before it,
+  // which is what keeps prefix blocks exact.
+  mutable std::vector<ResourceVector> block_max_;
+  mutable std::vector<ResourceVector> block_min_;
+  mutable ResourceVector peak_;
+  mutable bool index_dirty_ = true;
+  /// Lowest segment index whose block may be stale (mutations lower it,
+  /// rebuilds reset it past the end).
+  mutable std::size_t dirty_from_ = 0;
+
+  std::map<SimTime, ResourceVector> profile_;  // legacy backend storage
 };
 
 }  // namespace vmlp::cluster

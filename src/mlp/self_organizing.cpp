@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/audit.h"
 #include "common/error.h"
@@ -41,41 +42,62 @@ void audit_plan_integrity(const sched::ActiveRequest& ar, const std::vector<Node
 SelfOrganizing::SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng rng)
     : iface_(&iface), params_(params), rng_(rng) {}
 
+void SelfOrganizing::Overlay::add(MachineId m, SimTime t0, SimTime t1,
+                                  const cluster::ResourceVector& res) {
+  for (auto& [machine, spans] : buckets) {
+    if (machine == m) {
+      spans.push_back(Span{t0, t1, res});
+      return;
+    }
+  }
+  buckets.emplace_back(m, std::vector<Span>{Span{t0, t1, res}});
+}
+
 cluster::ResourceVector SelfOrganizing::Overlay::max_over(MachineId m, SimTime t0,
                                                           SimTime t1) const {
   // Conservative: sum every overlapping tentative reservation (exact maxima
-  // would need sweep-line; plans hold only a handful of entries).
+  // would need sweep-line; plans hold only a handful of entries). Buckets
+  // preserve per-machine insertion order, so the sum accumulates in the same
+  // order as a filtered sweep of a global entry list would.
   cluster::ResourceVector total;
-  for (const auto& e : entries) {
-    if (e.machine == m && e.t0 < t1 && t0 < e.t1) total += e.res;
+  for (const auto& [machine, spans] : buckets) {
+    if (machine != m) continue;
+    for (const auto& s : spans) {
+      if (s.t0 < t1 && t0 < s.t1) total += s.res;
+    }
+    break;
   }
   return total;
 }
 
 bool SelfOrganizing::fits_with_overlay(const Overlay& overlay, MachineId m, SimTime t0, SimTime t1,
-                                       const cluster::ResourceVector& r) const {
+                                       const cluster::ResourceVector& r,
+                                       std::size_t* cover_hint, SimTime* refit_out) const {
   const auto& ledger = iface_->cluster().machine(m).ledger();
-  return ledger.fits(t0, t1, r + overlay.max_over(m, t0, t1));
+  if (overlay.buckets.empty()) return ledger.fits(t0, t1, r, cover_hint, refit_out);
+  return ledger.fits(t0, t1, r + overlay.max_over(m, t0, t1), cover_hint);
 }
 
 SimDuration SelfOrganizing::max_slo() const {
-  if (cached_max_slo_ == 0) {
+  if (!cached_max_slo_.has_value()) {
+    SimDuration max_seen = 0;
     for (const auto& rt : iface_->application().requests()) {
-      cached_max_slo_ = std::max(cached_max_slo_, rt.slo());
+      max_seen = std::max(max_seen, rt.slo());
     }
+    cached_max_slo_ = max_seen;
   }
-  return cached_max_slo_;
+  return *cached_max_slo_;
 }
 
 SimDuration SelfOrganizing::ref_stage_time() const {
-  if (cached_ref_ == 0) {
+  if (!cached_ref_.has_value()) {
     double sum = 0.0;
     const auto& services = iface_->application().services();
     for (const auto& s : services) sum += static_cast<double>(s.nominal_time);
     cached_ref_ = std::max<SimDuration>(
         1, static_cast<SimDuration>(sum / std::max<std::size_t>(1, services.size())));
   }
-  return cached_ref_;
+  return *cached_ref_;
 }
 
 double SelfOrganizing::reorder_ratio_of(RequestId id) {
@@ -96,18 +118,66 @@ double SelfOrganizing::reorder_ratio_of(RequestId id) {
   return reorder_ratio(v_r, type.slo(), waited, dt0, ref_stage_time());
 }
 
+SelfOrganizing::PlanContext::NodeEst SelfOrganizing::compute_est(const app::RequestType& type,
+                                                                 std::size_t node, double v_r,
+                                                                 double x) const {
+  const auto& req_node = type.nodes()[node];
+  const auto& svc = iface_->application().service(req_node.service);
+  const auto fallback = static_cast<SimDuration>(
+      std::llround(2.0 * static_cast<double>(svc.nominal_time) * req_node.time_scale));
+  // Δt (band-conservative) aligns successors; the ledger books only the
+  // *expected* busy time — reserving worst-case windows would halve the
+  // cluster's effective capacity for volatile streams.
+  PlanContext::NodeEst est;
+  est.slack =
+      estimate_slack(iface_->profiles(), req_node.service, type.id(), v_r, x, fallback, params_);
+  est.busy = std::max<SimDuration>(
+      1, iface_->profiles().mean_exec(req_node.service, type.id()).value_or(fallback / 2));
+  return est;
+}
+
+const SelfOrganizing::PlanContext::NodeEst& SelfOrganizing::node_est(
+    PlanContext& ctx, const sched::ActiveRequest& ar, std::size_t node) const {
+  auto& slot = ctx.est[node];
+  if (!slot.has_value()) slot = compute_est(ar.runtime.type(), node, ctx.v_r, ctx.x);
+  return *slot;
+}
+
+SelfOrganizing::PlanContext SelfOrganizing::make_context(const sched::ActiveRequest& ar) {
+  const auto& type = ar.runtime.type();
+  PlanContext ctx;
+  ctx.v_r = iface_->volatility(type.id());
+  ctx.x = x_percent(ctx.v_r, type.slo(), max_slo());
+  ctx.est.assign(type.size(), std::nullopt);
+  ctx.seed_finish.assign(type.size(), -1);
+  ctx.seed_machine.assign(type.size(), MachineId());
+
+  // Seed predictions for nodes that already progressed (delay-slot entrants).
+  const SimTime now = iface_->now();
+  for (std::size_t i = 0; i < type.size(); ++i) {
+    const sched::DriverNode& dn = ar.nodes[i];
+    const auto& rn = ar.runtime.node(i);
+    if (dn.done) {
+      ctx.seed_finish[i] = rn.finished_at;
+      ctx.seed_machine[i] = dn.machine;
+    } else if (dn.running) {
+      ctx.seed_finish[i] = std::max(now + kMsec, rn.started_at + node_est(ctx, ar, i).slack);
+      ctx.seed_machine[i] = dn.machine;
+    } else if (dn.placed) {
+      ctx.seed_finish[i] = std::max(dn.planned_start, now) + dn.reserve_duration;
+      ctx.seed_machine[i] = dn.machine;
+    }
+  }
+  return ctx;
+}
+
 SimDuration SelfOrganizing::slack_of(RequestId id, std::size_t node) {
   sched::ActiveRequest* ar = iface_->find_request(id);
   VMLP_CHECK(ar != nullptr);
   const auto& type = ar->runtime.type();
   const double v_r = iface_->volatility(type.id());
   const double x = x_percent(v_r, type.slo(), max_slo());
-  const auto& req_node = type.nodes()[node];
-  const auto& svc = iface_->application().service(req_node.service);
-  const auto fallback = static_cast<SimDuration>(
-      std::llround(2.0 * static_cast<double>(svc.nominal_time) * req_node.time_scale));
-  return estimate_slack(iface_->profiles(), req_node.service, type.id(), v_r, x, fallback,
-                        params_);
+  return compute_est(type, node, v_r, x).slack;
 }
 
 std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage(
@@ -118,58 +188,123 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage(
   const SimDuration step =
       std::max<SimDuration>(1, params_.plan_search_window /
                                    static_cast<SimDuration>(params_.plan_search_steps));
+  const bool fast = params_.admission_fast_path;
+
+  // Desired starts depend only on the machine (expected_comm is a pure
+  // function of topology distance), so one computation per machine serves
+  // every slip step k. probe_state_ classifies each machine on first touch:
+  // 0 = untouched, 1 = must probe, 2 = every probe this stage is guaranteed
+  // to fail (see quick-rejects below).
+  if (fast) {
+    probe_state_.assign(n_machines, 0);
+    // Covering-index hints survive across stages: the ledger validates them
+    // against its current profile, and consecutive stages probe each machine
+    // at nearby times. Refit bounds do not — they encode this stage's demand
+    // and duration.
+    if (probe_cover_.size() < n_machines) probe_cover_.resize(n_machines, cluster::kNoCoverHint);
+    probe_refit_.assign(n_machines, std::numeric_limits<SimTime>::min());
+    if (probe_desired_.size() < n_machines) probe_desired_.resize(n_machines);
+  }
+
+  auto desired_for = [&](MachineId m) {
+    SimTime desired = now;
+    if (parent_finish.empty()) {
+      // Root stage: ingress hop from the request handler.
+      desired = now + iface_->expected_ingress();
+    } else {
+      for (std::size_t p = 0; p < parent_finish.size(); ++p) {
+        desired =
+            std::max(desired, parent_finish[p] + iface_->expected_comm(parent_machine[p], m));
+      }
+      desired = std::max(desired, now);
+    }
+    return desired;
+  };
 
   std::size_t probes = 0;
   for (std::size_t k = 0; k <= params_.plan_search_steps; ++k) {
+    // Tracks whether this pass met any machine that could still admit. Once
+    // every up machine is classified 2 (guaranteed fail), the remaining slip
+    // passes only tick the probe counter — no probe can succeed, no cursor
+    // move, and the stage ends in std::nullopt either way — so the fast path
+    // returns that verdict immediately. Machines cannot change state while a
+    // stage runs (the simulation does not advance inside admit_stage).
+    bool any_probeable = false;
     for (std::size_t j = 0; j < n_machines; ++j) {
+      // Pruned probes still consume budget: which probe exhausts
+      // max_admit_probes must not depend on the fast path.
       if (++probes > params_.max_admit_probes) return std::nullopt;
       const MachineId m(static_cast<std::uint32_t>((cursor_ + j) % n_machines));
       if (!iface_->cluster().machine(m).up()) continue;  // crash window
-      SimTime desired = now;
-      if (parent_finish.empty()) {
-        // Root stage: ingress hop from the request handler.
-        desired = now + iface_->expected_ingress();
-      } else {
-        for (std::size_t p = 0; p < parent_finish.size(); ++p) {
-          desired = std::max(desired,
-                             parent_finish[p] + iface_->expected_comm(parent_machine[p], m));
+      SimTime desired = 0;
+      std::int8_t* state = nullptr;
+      if (fast) {
+        state = &probe_state_[m.value()];
+        if (*state == 2) continue;  // counted, and provably would have failed
+        if (*state == 0) {
+          desired = desired_for(m);
+          probe_desired_[m.value()] = desired;
+        } else {
+          desired = probe_desired_[m.value()];
         }
-        desired = std::max(desired, now);
+      } else {
+        desired = desired_for(m);
       }
       const SimTime start = desired + static_cast<SimDuration>(k) * step;
-      if (fits_with_overlay(overlay, m, start, start + slack, demand)) {
+      if (fast && start < probe_refit_[m.value()]) {
+        // The window still overlaps the blocking run an earlier probe of
+        // this machine hit, so it provably fails (the run's bound holds for
+        // every later-starting window of the same demand and duration).
+        any_probeable = true;  // later slip steps may clear the run
+        continue;
+      }
+      std::size_t* cover = fast ? &probe_cover_[m.value()] : nullptr;
+      SimTime* refit = fast ? &probe_refit_[m.value()] : nullptr;
+      if (fits_with_overlay(overlay, m, start, start + slack, demand, cover, refit)) {
         cursor_ = (m.value() + 1) % n_machines;
         return std::make_pair(m, start);
       }
+      if (state != nullptr && *state == 0) {
+        // First failed probe on this machine: classify it so the slip loop
+        // does not keep paying for probes that provably fail. Classification
+        // is deferred until a failure because a machine whose first probe
+        // succeeds never needs it.
+        const auto& machine = iface_->cluster().machine(m);
+        if (!demand.fits_within(machine.capacity())) {
+          // The bare capacity can never hold the demand; any non-negative
+          // ledger level or overlay only raises the tested usage.
+          *state = 2;
+        } else {
+          // Every start this stage can probe lies in
+          // [desired, desired + steps·step], so every probed window is a
+          // subset of that span plus the slack tail. If even the quietest
+          // level across the whole span cannot host the demand, each
+          // window's max certainly cannot (max ≥ span min, and the exact
+          // test adds the same non-negative demand+overlay on top).
+          // span_could_fit early-exits the span walk on the usual
+          // "machine stays probeable" verdict.
+          const SimTime span_end =
+              desired + static_cast<SimDuration>(params_.plan_search_steps) * step + slack;
+          // The span starts at `desired` == this k=0 probe's start, so the
+          // hint the failed probe just stored is already the span's
+          // covering index.
+          *state = machine.ledger().span_could_fit(desired, span_end, demand, cover) ? 1 : 2;
+        }
+      }
+      if (state == nullptr || *state != 2) any_probeable = true;
     }
+    if (fast && !any_probeable) return std::nullopt;
   }
   return std::nullopt;
 }
 
 std::optional<std::vector<NodePlan>> SelfOrganizing::try_chain(
-    sched::ActiveRequest& ar, const std::vector<std::size_t>& chain, double v_r, double x) {
+    sched::ActiveRequest& ar, const std::vector<std::size_t>& chain, PlanContext& ctx) {
   const auto& type = ar.runtime.type();
   const auto& application = iface_->application();
-  const SimTime now = iface_->now();
 
-  std::vector<SimTime> pred_finish(type.size(), -1);
-  std::vector<MachineId> pred_machine(type.size());
-
-  // Seed predictions for nodes that already progressed (delay-slot entrants).
-  for (std::size_t i = 0; i < type.size(); ++i) {
-    const sched::DriverNode& dn = ar.nodes[i];
-    const auto& rn = ar.runtime.node(i);
-    if (dn.done) {
-      pred_finish[i] = rn.finished_at;
-      pred_machine[i] = dn.machine;
-    } else if (dn.running) {
-      pred_finish[i] = std::max(now + kMsec, rn.started_at + slack_of(ar.runtime.id(), i));
-      pred_machine[i] = dn.machine;
-    } else if (dn.placed) {
-      pred_finish[i] = std::max(dn.planned_start, now) + dn.reserve_duration;
-      pred_machine[i] = dn.machine;
-    }
-  }
+  std::vector<SimTime> pred_finish = ctx.seed_finish;
+  std::vector<MachineId> pred_machine = ctx.seed_machine;
 
   Overlay overlay;
   std::vector<NodePlan> plans;
@@ -179,15 +314,7 @@ std::optional<std::vector<NodePlan>> SelfOrganizing::try_chain(
 
     const auto& req_node = type.nodes()[node];
     const auto& svc = application.service(req_node.service);
-    const auto fallback = static_cast<SimDuration>(
-        std::llround(2.0 * static_cast<double>(svc.nominal_time) * req_node.time_scale));
-    // Δt (band-conservative) aligns successors; the ledger books only the
-    // *expected* busy time — reserving worst-case windows would halve the
-    // cluster's effective capacity for volatile streams.
-    const SimDuration slack =
-        estimate_slack(iface_->profiles(), req_node.service, type.id(), v_r, x, fallback, params_);
-    const SimDuration busy = std::max<SimDuration>(
-        1, iface_->profiles().mean_exec(req_node.service, type.id()).value_or(fallback / 2));
+    const PlanContext::NodeEst est = node_est(ctx, ar, node);
 
     std::vector<SimTime> pf;
     std::vector<MachineId> pm;
@@ -197,13 +324,13 @@ std::optional<std::vector<NodePlan>> SelfOrganizing::try_chain(
       pm.push_back(pred_machine[parent]);
     }
 
-    const auto admitted = admit_stage(overlay, svc.demand, busy, pf, pm);
+    const auto admitted = admit_stage(overlay, svc.demand, est.busy, pf, pm);
     if (!admitted.has_value()) return std::nullopt;
 
     const auto [machine, start] = *admitted;
-    plans.push_back(NodePlan{node, machine, start, busy, slack});
-    overlay.entries.push_back(Overlay::Entry{machine, start, start + busy, svc.demand});
-    pred_finish[node] = start + std::max(busy, slack);
+    plans.push_back(NodePlan{node, machine, start, est.busy, est.slack});
+    overlay.add(machine, start, start + est.busy, svc.demand);
+    pred_finish[node] = start + std::max(est.busy, est.slack);
     pred_machine[node] = machine;
   }
   return plans;
@@ -213,14 +340,16 @@ bool SelfOrganizing::organize(RequestId id) {
   sched::ActiveRequest* ar = iface_->find_request(id);
   if (ar == nullptr) return false;
   const auto& type = ar->runtime.type();
-  const double v_r = iface_->volatility(type.id());
-  const double x = x_percent(v_r, type.slo(), max_slo());
+  PlanContext ctx = make_context(*ar);
 
   const auto chains = type.dag().chain_choices(params_.max_chain_choices, rng_);
   std::size_t failed = 0;
   for (const auto& chain : chains) {
     if (failed >= params_.max_failed_chains) break;  // saturated; retrying costs more than it buys
-    auto plans = try_chain(*ar, chain, v_r, x);
+    // Reference mode pays the pre-fast-path cost of re-deriving every
+    // estimate per chain attempt; the values are bit-equal either way.
+    if (!params_.admission_fast_path) ctx = make_context(*ar);
+    auto plans = try_chain(*ar, chain, ctx);
     if (!plans.has_value()) {
       ++failed;
       continue;
@@ -243,9 +372,8 @@ bool SelfOrganizing::organize_node(RequestId id, std::size_t node) {
   if (ar == nullptr) return false;
   if (ar->nodes[node].placed || ar->nodes[node].done) return true;
   const auto& type = ar->runtime.type();
-  const double v_r = iface_->volatility(type.id());
-  const double x = x_percent(v_r, type.slo(), max_slo());
-  auto plans = try_chain(*ar, {node}, v_r, x);
+  PlanContext ctx = make_context(*ar);
+  auto plans = try_chain(*ar, {node}, ctx);
   if (!plans.has_value() || plans->empty()) return false;
   audit_plan_integrity(*ar, *plans, /*require_full_cover=*/false);
   const auto& plan = plans->front();

@@ -69,26 +69,70 @@ class SelfOrganizing {
 
  private:
   struct Overlay {
-    struct Entry {
-      MachineId machine;
+    struct Span {
       SimTime t0;
       SimTime t1;
       cluster::ResourceVector res;
     };
-    std::vector<Entry> entries;
+    /// Tentative reservations grouped by machine (first-touch order). A plan
+    /// holds only a handful of entries, so flat buckets beat hashing — and a
+    /// probe for machine m now touches m's spans only instead of sweeping
+    /// every tentative entry of the plan.
+    std::vector<std::pair<MachineId, std::vector<Span>>> buckets;
+    void add(MachineId m, SimTime t0, SimTime t1, const cluster::ResourceVector& res);
     [[nodiscard]] cluster::ResourceVector max_over(MachineId m, SimTime t0, SimTime t1) const;
   };
 
+  /// Per-organize() memoized planning inputs. Algorithm 1's per-node slack
+  /// Δt, expected busy time and the finish-time predictions seeded from
+  /// already-progressed nodes are invariant across the up-to
+  /// `max_chain_choices` chain attempts of one organize call (profiles only
+  /// record at execution time, and nothing commits until a chain succeeds),
+  /// so recomputing them per chain — the pre-fast-path behaviour — yields
+  /// bit-equal values. With `admission_fast_path` off they are rebuilt per
+  /// chain as the differential reference.
+  struct PlanContext {
+    struct NodeEst {
+      SimDuration slack = 0;
+      SimDuration busy = 0;
+    };
+    double v_r = 0.0;
+    double x = 0.0;
+    std::vector<std::optional<NodeEst>> est;
+    std::vector<SimTime> seed_finish;
+    std::vector<MachineId> seed_machine;
+  };
+
+  [[nodiscard]] PlanContext make_context(const sched::ActiveRequest& ar);
+  /// Slack/busy estimate for one node, computed on first use per context.
+  [[nodiscard]] const PlanContext::NodeEst& node_est(PlanContext& ctx,
+                                                     const sched::ActiveRequest& ar,
+                                                     std::size_t node) const;
+  [[nodiscard]] PlanContext::NodeEst compute_est(const app::RequestType& type, std::size_t node,
+                                                 double v_r, double x) const;
+
+  /// `refit_out` is forwarded to ReservationLedger::fits only on the bare
+  /// (overlay-free) path: a blocking-run bound derived with an
+  /// overlay-inflated demand would not be sound for later windows whose
+  /// overlay contribution is smaller.
   [[nodiscard]] bool fits_with_overlay(const Overlay& overlay, MachineId m, SimTime t0, SimTime t1,
-                                       const cluster::ResourceVector& r) const;
+                                       const cluster::ResourceVector& r,
+                                       std::size_t* cover_hint = nullptr,
+                                       SimTime* refit_out = nullptr) const;
   /// Find (machine, start) for one stage; first-fit from a rotating cursor at
   /// the desired start, escalating through the slip window. nullopt = defer.
+  /// With `admission_fast_path`, machines whose capacity can never hold the
+  /// demand, or whose quietest ledger level across every start this stage
+  /// could probe already blocks it, are skipped after the first touch — the
+  /// skipped probes still count against `max_admit_probes` and are provably
+  /// ones that would have failed, so the accepted (machine, start) and the
+  /// cursor trajectory are identical to the exhaustive search.
   [[nodiscard]] std::optional<std::pair<MachineId, SimTime>> admit_stage(
       const Overlay& overlay, const cluster::ResourceVector& demand, SimDuration slack,
       const std::vector<SimTime>& parent_finish, const std::vector<MachineId>& parent_machine);
 
   [[nodiscard]] std::optional<std::vector<NodePlan>> try_chain(
-      sched::ActiveRequest& ar, const std::vector<std::size_t>& chain, double v_r, double x);
+      sched::ActiveRequest& ar, const std::vector<std::size_t>& chain, PlanContext& ctx);
 
   [[nodiscard]] SimDuration max_slo() const;
   [[nodiscard]] SimDuration ref_stage_time() const;
@@ -100,8 +144,25 @@ class SelfOrganizing {
   std::size_t plans_committed_ = 0;
   std::size_t plans_deferred_ = 0;
   SimTime last_defer_at_ = -1;
-  mutable SimDuration cached_max_slo_ = 0;
-  mutable SimDuration cached_ref_ = 0;
+  // Value-carrying caches: 0 is a legitimate result for neither (max_slo of
+  // an application with all-zero SLOs, a degenerate ref time), so an empty
+  // optional — not a 0 sentinel — marks "not yet computed".
+  mutable std::optional<SimDuration> cached_max_slo_;
+  mutable std::optional<SimDuration> cached_ref_;
+  // admit_stage scratch (sized to the cluster, reused across calls so the
+  // inner planning loop stays allocation-free).
+  std::vector<std::int8_t> probe_state_;
+  std::vector<SimTime> probe_desired_;
+  /// Per-machine ledger covering-index cache (kNoCoverHint = untouched).
+  /// Valid for one admit_stage call: the ledger is not mutated while a
+  /// stage probes, and each machine's probe starts only slip forward.
+  std::vector<std::size_t> probe_cover_;
+  /// Per-machine refit bound: after a failed probe, the end of the blocking
+  /// run it hit (ReservationLedger::fits refit_out). Later slip steps whose
+  /// start is still below the bound overlap the same run and provably fail,
+  /// so they are counted but not walked. Valid for one admit_stage call for
+  /// the same reasons as probe_cover_.
+  std::vector<SimTime> probe_refit_;
 };
 
 }  // namespace vmlp::mlp

@@ -12,16 +12,6 @@ Topology::Topology(std::size_t machines, std::size_t machines_per_rack)
 
 std::size_t Topology::rack_count() const { return (machines_ + per_rack_ - 1) / per_rack_; }
 
-std::size_t Topology::rack_of(MachineId m) const {
-  VMLP_CHECK_MSG(m.valid() && m.value() < machines_, "machine id out of range");
-  return m.value() / per_rack_;
-}
-
-Distance Topology::distance(MachineId a, MachineId b) const {
-  if (a == b) return Distance::kSameMachine;
-  return rack_of(a) == rack_of(b) ? Distance::kSameRack : Distance::kCrossRack;
-}
-
 const char* distance_name(Distance d) {
   switch (d) {
     case Distance::kSameMachine: return "same-machine";

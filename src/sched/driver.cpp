@@ -1,6 +1,7 @@
 #include "sched/driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/audit.h"
@@ -12,6 +13,32 @@ namespace vmlp::sched {
 namespace {
 // Index of running instances per machine, kept in the driver via this helper
 // key type (declared here to keep the header lean).
+
+/// Scoped host-clock accumulator around a scheduler callback. Only the
+/// outermost scope on a callback chain accumulates, so a policy that
+/// synchronously triggers another callback (place -> immediate start ->
+/// on_node_started) is not double-counted. Host time never influences
+/// simulation decisions — it only feeds RunResult::policy_seconds.
+class PolicyScope {
+ public:
+  PolicyScope(std::int64_t& acc, int& depth) : acc_(acc), depth_(depth) {
+    if (depth_++ == 0) start_ = std::chrono::steady_clock::now();
+  }
+  ~PolicyScope() {
+    if (--depth_ == 0) {
+      acc_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    }
+  }
+  PolicyScope(const PolicyScope&) = delete;
+  PolicyScope& operator=(const PolicyScope&) = delete;
+
+ private:
+  std::int64_t& acc_;
+  int& depth_;
+  std::chrono::steady_clock::time_point start_;
+};
 }  // namespace
 
 SimulationDriver::SimulationDriver(const app::Application& application, IScheduler& scheduler,
@@ -73,7 +100,10 @@ void SimulationDriver::on_arrival(RequestTypeId type) {
   arrival_order_.push_back(rid);
   tracer_.on_request_arrival(rid, type, engine_.now());
   ++arrived_;
-  scheduler_.on_request_arrival(rid);
+  {
+    PolicyScope scope(policy_ns_, policy_depth_);
+    scheduler_.on_request_arrival(rid);
+  }
 }
 
 ActiveRequest* SimulationDriver::find_request(RequestId id) {
@@ -185,6 +215,7 @@ void SimulationDriver::place(RequestId id, std::size_t node, MachineId machine,
   dn.has_reservation = true;
   m.ledger().reserve(dn.reserved_begin, dn.reserved_end, dn.limit);
   audit_machine_conservation(machine);
+  ++counters_.placements;
 
   const InstanceId iid(next_instance_++);
   dn.instance = iid;
@@ -232,6 +263,7 @@ void SimulationDriver::schedule_start_attempt(ActiveRequest& ar, std::size_t nod
         DriverNode& n = r->nodes[node];
         if (!n.running && !n.done) {
           ++counters_.late_events;
+          PolicyScope scope(policy_ns_, policy_depth_);
           scheduler_.on_late_invocation(rid, node);
         }
       });
@@ -245,6 +277,7 @@ void SimulationDriver::schedule_start_attempt(ActiveRequest& ar, std::size_t nod
         DriverNode& n = r->nodes[node];
         if (!n.running && !n.done) {
           ++counters_.late_events;
+          PolicyScope scope(policy_ns_, policy_depth_);
           scheduler_.on_late_invocation(rid, node);
         }
       });
@@ -292,6 +325,7 @@ void SimulationDriver::start_node(RequestId id, std::size_t node) {
       if (dn.early_denial_streak >= DriverNode::kStuckThreshold && !dn.stuck_notified) {
         dn.stuck_notified = true;
         ++counters_.late_events;
+        PolicyScope scope(policy_ns_, policy_depth_);
         scheduler_.on_late_invocation(id, node);
       }
       return;
@@ -349,7 +383,10 @@ void SimulationDriver::start_node(RequestId id, std::size_t node) {
 
   running_on_[dn.machine.value()].push_back(RunningRef{id, node, ar});
   recompute_machine(dn.machine);
-  scheduler_.on_node_started(id, node);
+  {
+    PolicyScope scope(policy_ns_, policy_depth_);
+    scheduler_.on_node_started(id, node);
+  }
 }
 
 void SimulationDriver::advance_instance(DriverNode& dn, SimTime to) {
@@ -465,14 +502,20 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
   for (std::size_t child : unblocked) {
     handle_parent_finished(*ar, child, dn.machine, t);
   }
-  scheduler_.on_node_finished(id, node);
+  {
+    PolicyScope scope(policy_ns_, policy_depth_);
+    scheduler_.on_node_finished(id, node);
+  }
 
   if (ar->runtime.finished()) {
     tracer_.on_request_completion(id, t);
     qos_.record_completion(ar->runtime.type().id(), t - ar->runtime.arrival());
     if (ar->degraded) orphaned_latencies_.add(static_cast<double>(t - ar->runtime.arrival()));
     ++completed_;
-    scheduler_.on_request_finished(id);
+    {
+      PolicyScope scope(policy_ns_, policy_depth_);
+      scheduler_.on_request_finished(id);
+    }
     requests_.erase(id);
   }
 }
@@ -490,6 +533,7 @@ void SimulationDriver::handle_parent_finished(ActiveRequest& ar, std::size_t chi
     schedule_start_attempt(ar, child);
   } else {
     ar.runtime.mark_ready(child, engine_.now());
+    PolicyScope scope(policy_ns_, policy_depth_);
     scheduler_.on_node_unblocked(ar.runtime.id(), child);
   }
 }
@@ -628,6 +672,7 @@ void SimulationDriver::crash_machine(MachineId machine) {
       // Nothing executed, so no retry is charged: deps-met nodes go straight
       // back to the scheduler; the rest re-enter via handle_parent_finished.
       if (ar->runtime.node(node).pending_parents == 0) {
+        PolicyScope scope(policy_ns_, policy_depth_);
         scheduler_.on_node_orphaned(id, node);
       }
     }
@@ -723,6 +768,7 @@ void SimulationDriver::schedule_retry(ActiveRequest& ar, std::size_t node) {
     const DriverNode& n = r->nodes[node];
     if (n.placed || n.running || n.done || n.abandoned) return;
     if (r->runtime.node(node).pending_parents != 0) return;  // re-enters via parents
+    PolicyScope scope(policy_ns_, policy_depth_);
     scheduler_.on_node_orphaned(id, node);
   });
 }
@@ -754,7 +800,10 @@ RunResult SimulationDriver::run() {
   monitor_.attach(engine_);
   schedule_next_interference();
   schedule_failures();
-  engine_.schedule_periodic(params_.tick, params_.tick, [this] { scheduler_.on_tick(); });
+  engine_.schedule_periodic(params_.tick, params_.tick, [this] {
+    PolicyScope scope(policy_ns_, policy_depth_);
+    scheduler_.on_tick();
+  });
   if (params_.ledger_compact_period > 0) {
     engine_.schedule_periodic(params_.ledger_compact_period, params_.ledger_compact_period,
                               [this] {
@@ -787,6 +836,8 @@ RunResult SimulationDriver::run() {
   }
   result.throughput_rps =
       static_cast<double>(completed_) / (static_cast<double>(params_.horizon) / kSec);
+  result.placements = counters_.placements;
+  result.policy_seconds = static_cast<double>(policy_ns_) * 1e-9;
 
   result.machine_crashes = counters_.machine_crashes;
   result.container_faults = counters_.container_faults;

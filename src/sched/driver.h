@@ -138,6 +138,13 @@ struct RunResult {
   double p99_latency_us = 0.0;
   double mean_latency_us = 0.0;
   double throughput_rps = 0.0;  ///< completions / horizon
+  std::size_t placements = 0;   ///< successful place() calls (admission decisions)
+  /// Wall-clock seconds spent inside scheduler policy callbacks, including
+  /// driver work they invoke synchronously (place/ledger bookings). This is
+  /// the denominator of the perf harness's placements-per-second metric —
+  /// host timing, NOT simulated time, so it is nondeterministic and must
+  /// never feed a byte-compared output.
+  double policy_seconds = 0.0;
 
   // Failure-robustness metrics (all zero when failure injection is off).
   std::size_t machine_crashes = 0;
@@ -221,6 +228,7 @@ class SimulationDriver {
 
   /// Mechanism counters (observability for tests and ablations).
   struct Counters {
+    std::size_t placements = 0;       ///< successful place() calls
     std::size_t early_starts = 0;     ///< nodes started before their planned time
     std::size_t early_denials = 0;    ///< early attempts pushed back to plan time
     std::size_t on_time_starts = 0;   ///< started at/after planned time
@@ -320,6 +328,11 @@ class SimulationDriver {
   std::size_t arrived_ = 0;
   std::size_t completed_ = 0;
   Counters counters_;
+  /// Accumulated host-clock nanoseconds inside scheduler callbacks (see
+  /// RunResult::policy_seconds). The depth counter keeps re-entrant
+  /// callback chains from double-counting the nested interval.
+  std::int64_t policy_ns_ = 0;
+  int policy_depth_ = 0;
   bool ran_ = false;
 };
 

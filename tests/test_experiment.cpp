@@ -47,6 +47,27 @@ TEST(Experiment, SingleRunProducesResults) {
   }
 }
 
+// The admission fast path (indexed flat ledger + probe pruning + memoized
+// estimates) must be decision-invisible: the same cell run against the legacy
+// map-backed ledger with the fast path off yields the same headline metrics.
+// tools/determinism_check claim 5 byte-compares the full streams; this is the
+// cheap tier-1 canary.
+TEST(Experiment, FastPathMatchesReferenceLedger) {
+  ExperimentConfig fast = small_config();
+  ExperimentConfig reference = small_config();
+  reference.driver.cluster.legacy_ledger = true;
+  reference.vmlp.admission_fast_path = false;
+  const auto rf = run_experiment(fast);
+  const auto rr = run_experiment(reference);
+  EXPECT_GT(rf.run.placements, 0u);
+  EXPECT_EQ(rf.run.placements, rr.run.placements);
+  EXPECT_EQ(rf.run.completed, rr.run.completed);
+  EXPECT_EQ(rf.run.unfinished, rr.run.unfinished);
+  EXPECT_EQ(rf.run.p99_latency_us, rr.run.p99_latency_us);
+  EXPECT_EQ(rf.run.mean_utilization, rr.run.mean_utilization);
+  EXPECT_EQ(rf.run.qos_violation_rate, rr.run.qos_violation_rate);
+}
+
 TEST(Experiment, SeedsChangeOutcome) {
   ExperimentConfig a = small_config();
   ExperimentConfig b = small_config();

@@ -3,8 +3,9 @@
 
 Compares a freshly produced BENCH_core.json against bench/baseline.json:
 
-  * events/sec metrics (the regression gate): FAIL when the new value is
-    more than --fail-threshold (default 25%) below the baseline.
+  * gated metrics (engine events/sec and sched placements/sec): FAIL when
+    the new value is more than --fail-threshold (default 25%) below the
+    baseline.
   * every other shared metric: WARN when it is more than --warn-threshold
     (default 25%) worse, in its natural direction (wall_ms lower-is-better,
     throughput/speedup higher-is-better). Warnings never fail the job —
@@ -29,7 +30,9 @@ import sys
 from pathlib import Path
 
 # Metrics whose regression fails the job (substring match on the metric key).
-GATED = ("events_per_sec",)
+# Note sched.reference_placements_per_sec deliberately does NOT contain the
+# gated key: the legacy-ledger reference is informational, not enforced.
+GATED = ("events_per_sec", "sched.placements_per_sec")
 
 # Key suffixes where lower is better; everything else is higher-is-better.
 LOWER_IS_BETTER = ("wall_ms",)
