@@ -18,8 +18,17 @@
 //                    (the regression-gated metric) and with the legacy
 //                    map-backed reference (legacy ledger, fast path off),
 //                    cross-checked to be decision-identical.
+//   5. obs.*       — telemetry-collection overhead: engine cascade and a
+//                    fig13 scenario with the collector on vs off, reported
+//                    as on/off throughput ratios. bench_compare.py enforces
+//                    an absolute >= 0.95 floor (collection may cost at most
+//                    5%); a -DVMLP_NO_OBS build compiles the recording
+//                    methods away entirely (ratio ~1.0). The scenario pair
+//                    also cross-checks that results are identical with
+//                    collection on or off (claim 6's perf-harness form).
 //
 // Usage: perf_harness [output.json]   (default: BENCH_core.json)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -33,6 +42,7 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "exp/trial_runner.h"
+#include "obs/collector.h"
 #include "sim/engine.h"
 
 namespace {
@@ -51,7 +61,9 @@ double elapsed_sec(Clock::time_point start) {
 /// driver's re-rating produces (≈1 reschedule per firing, occasional cancel).
 class EngineCascade {
  public:
-  explicit EngineCascade(std::uint64_t budget) : budget_(budget) {
+  explicit EngineCascade(std::uint64_t budget, obs::Collector* obs = nullptr)
+      : budget_(budget) {
+    engine_.set_observer(obs);
     live_.resize(64);
     for (std::size_t i = 0; i < live_.size(); ++i) {
       live_[i] = engine_.schedule_at(static_cast<SimTime>(rng_.uniform_int(0, 1000)),
@@ -90,8 +102,8 @@ class EngineCascade {
   std::vector<sim::EventHandle> live_;
 };
 
-double bench_engine_events_per_sec(std::uint64_t budget) {
-  EngineCascade cascade(budget);
+double bench_engine_events_per_sec(std::uint64_t budget, obs::Collector* obs = nullptr) {
+  EngineCascade cascade(budget, obs);
   const auto start = Clock::now();
   const std::uint64_t executed = cascade.run();
   const double sec = elapsed_sec(start);
@@ -235,6 +247,62 @@ int main(int argc, char** argv) {
   metrics.emplace_back("sched.fast_path_speedup", ref_sec / fast_sec);
   std::fprintf(stderr, "  %.0f placements/sec fast, %.0f reference (%.2fx)\n",
                placements / fast_sec, placements / ref_sec, ref_sec / fast_sec);
+
+  // 5. Telemetry-collection overhead (obs_overhead family). Each leg reports
+  // the instrumented/uninstrumented throughput ratio, best-of-3 to shave
+  // scheduler noise; bench_compare.py holds both ratios to an absolute
+  // >= 0.95 floor (collection may cost at most 5%). A -DVMLP_NO_OBS build
+  // empties every recording body, so there the ratio sits at ~1.0.
+  std::fprintf(stderr, "telemetry overhead (engine cascade)...\n");
+  vmlp::obs::Params obs_params;
+  obs_params.enabled = true;
+  double engine_off = 0.0;
+  double engine_on = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    engine_off = std::max(engine_off, bench_engine_events_per_sec(400000));
+    vmlp::obs::Collector obs_collector(obs_params);
+    engine_on = std::max(engine_on, bench_engine_events_per_sec(400000, &obs_collector));
+  }
+  const double engine_ratio = engine_on / engine_off;
+  metrics.emplace_back("obs.engine_events_per_sec_ratio", engine_ratio);
+  std::fprintf(stderr, "  %.0f off, %.0f on (%.3fx)\n", engine_off, engine_on, engine_ratio);
+
+  std::fprintf(stderr, "telemetry overhead (fig13 scenario)...\n");
+  vmlp::exp::ExperimentConfig obs_off_config = vmlp::bench::perf_scenario_config(
+      vmlp::exp::SchemeKind::kVmlp, vmlp::loadgen::PatternKind::kL2Fluctuating,
+      vmlp::exp::StreamKind::kHighVr);
+  vmlp::exp::ExperimentConfig obs_on_config = obs_off_config;
+  obs_on_config.driver.obs.enabled = true;
+  double scenario_off_sec = 1e300;
+  double scenario_on_sec = 1e300;
+  std::size_t completed_off = 0;
+  std::size_t completed_on = 0;
+  std::size_t placements_off = 0;
+  std::size_t placements_on = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    auto start = Clock::now();
+    const auto off = vmlp::exp::run_experiment(obs_off_config);
+    scenario_off_sec = std::min(scenario_off_sec, elapsed_sec(start));
+    completed_off = off.run.completed;
+    placements_off = off.run.placements;
+    start = Clock::now();
+    const auto on = vmlp::exp::run_experiment(obs_on_config);
+    scenario_on_sec = std::min(scenario_on_sec, elapsed_sec(start));
+    completed_on = on.run.completed;
+    placements_on = on.run.placements;
+  }
+  // The zero-perturbation guarantee, checked where it is cheapest: the same
+  // cell must produce identical results with collection on or off.
+  if (completed_on != completed_off || placements_on != placements_off) {
+    std::cerr << "FAIL: telemetry collection perturbed the run (completed "
+              << completed_off << " vs " << completed_on << ", placements "
+              << placements_off << " vs " << placements_on << ")\n";
+    return 1;
+  }
+  const double scenario_ratio = scenario_off_sec / scenario_on_sec;
+  metrics.emplace_back("obs.scenario_wall_ratio", scenario_ratio);
+  std::fprintf(stderr, "  %.1f ms off, %.1f ms on (%.3fx)\n", scenario_off_sec * 1000.0,
+               scenario_on_sec * 1000.0, scenario_ratio);
 
   // Emit BENCH_core.json (key order fixed; bench_compare.py consumes it).
   std::ofstream out(out_path);

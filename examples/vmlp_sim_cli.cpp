@@ -21,7 +21,17 @@
 //   spans_json = run_spans.json
 //   requests_csv = run_requests.csv
 //   arrivals_csv = run_arrivals.csv
+//   metrics_prom = run_metrics.prom   ; Prometheus text snapshot
+//   trace_json = run_trace.json       ; Perfetto/Chrome trace (ui.perfetto.dev)
+//
+// The telemetry exports can also be requested on the command line (they
+// override the INI keys):
+//
+//   $ ./vmlp_sim_cli myrun.ini --metrics run_metrics.prom --trace-out run_trace.json
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "common/config.h"
 #include "common/error.h"
@@ -63,7 +73,21 @@ int main(int argc, char** argv) {
   using namespace vmlp;
   try {
     Config cfg;
-    if (argc > 1) cfg = Config::parse_file(argv[1]);
+    std::optional<std::string> metrics_path;
+    std::optional<std::string> trace_path;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--metrics" || arg == "--trace-out") {
+        if (i + 1 >= argc) throw ConfigError(arg + " needs a path argument");
+        (arg == "--metrics" ? metrics_path : trace_path) = argv[++i];
+      } else if (!arg.empty() && arg.front() == '-') {
+        throw ConfigError("unknown flag: " + arg);
+      } else {
+        cfg = Config::parse_file(arg);
+      }
+    }
+    if (!metrics_path.has_value()) metrics_path = cfg.get("export.metrics_prom");
+    if (!trace_path.has_value()) trace_path = cfg.get("export.trace_json");
 
     exp::ExperimentConfig config;
     config.scheme = parse_scheme(cfg.get_string("run.scheme", "v-MLP"));
@@ -93,6 +117,9 @@ int main(int argc, char** argv) {
     auto scheduler = exp::make_scheduler(config.scheme, config.vmlp, config.seed);
     sched::DriverParams dp = config.driver;
     dp.seed = config.seed;
+    // Telemetry collection is zero-perturbation (claim 6): enabling it for
+    // the exports cannot change the printed result row.
+    dp.obs.enabled = metrics_path.has_value() || trace_path.has_value();
     const auto pattern = loadgen::WorkloadPattern::make(
         config.pattern, config.pattern_params, Rng(config.seed).fork("pattern").seed());
     loadgen::RequestMix mix = config.stream == exp::StreamKind::kMixed
@@ -122,7 +149,9 @@ int main(int argc, char** argv) {
     table.print();
 
     if (const auto path = cfg.get("export.spans_json")) {
-      trace::export_spans_json_file(driver.tracer(), *application, *path);
+      trace::SpanExportOptions span_options;
+      span_options.machines_per_rack = dp.machines_per_rack;
+      trace::export_spans_json_file(driver.tracer(), *application, *path, span_options);
       std::cout << "spans written to " << *path << '\n';
     }
     if (const auto path = cfg.get("export.requests_csv")) {
@@ -132,6 +161,26 @@ int main(int argc, char** argv) {
     if (const auto path = cfg.get("export.arrivals_csv")) {
       loadgen::save_arrivals_csv_file(arrivals, *application, *path);
       std::cout << "arrival trace written to " << *path << '\n';
+    }
+    if (const obs::Collector* c = driver.observer(); c != nullptr) {
+      if (metrics_path.has_value()) {
+        std::ofstream out(*metrics_path);
+        if (!out) throw ConfigError("cannot open " + *metrics_path);
+        exp::write_metrics_snapshot(c->snapshot(), out);
+        std::cout << "metrics snapshot written to " << *metrics_path << '\n';
+      }
+      if (trace_path.has_value()) {
+        exp::ObsCapture capture;
+        capture.enabled = true;
+        capture.decisions = c->events().ordered();
+        capture.policy_slices = c->policy_slices();
+        capture.spans = driver.tracer().spans();
+        std::ofstream out(*trace_path);
+        if (!out) throw ConfigError("cannot open " + *trace_path);
+        exp::write_perfetto_trace(capture, out);
+        std::cout << "perfetto trace written to " << *trace_path
+                  << " (open it at ui.perfetto.dev)\n";
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -5,6 +5,7 @@
 
 #include "common/audit.h"
 #include "common/error.h"
+#include "obs/collector.h"
 
 namespace vmlp::cluster {
 namespace {
@@ -86,6 +87,7 @@ std::size_t ReservationLedger::hinted_covering_index(SimTime t,
   // walk worse than the O(log n) search, so bail out after a few steps.
   constexpr std::size_t kMaxHintWalk = 32;
   if (cover_hint != nullptr && *cover_hint < segs_.size() && segs_[*cover_hint].start <= t) {
+    if (obs_ != nullptr) obs_->count(obs_->ledger().hints_hit);
     std::size_t lo = *cover_hint;
     std::size_t walked = 0;
     while (lo + 1 < segs_.size() && segs_[lo + 1].start <= t) {
@@ -98,6 +100,7 @@ std::size_t ReservationLedger::hinted_covering_index(SimTime t,
     *cover_hint = lo;
     return lo;
   }
+  if (obs_ != nullptr && cover_hint != nullptr) obs_->count(obs_->ledger().hints_missed);
   const std::size_t lo = covering_index(t);
   if (cover_hint != nullptr) *cover_hint = lo;
   return lo;
@@ -188,6 +191,7 @@ void ReservationLedger::coalesce(SimTime t0, SimTime t1) {
 
 void ReservationLedger::reserve(SimTime t0, SimTime t1, const ResourceVector& r) {
   VMLP_CHECK_MSG(t0 < t1, "empty reservation window [" << t0 << "," << t1 << ")");
+  if (obs_ != nullptr) obs_->count(obs_->ledger().windows_reserved);
   // A negative or non-finite reservation silently *creates* capacity — the
   // canonical corruption a buggy planner would introduce.
   VMLP_AUDIT_ASSERT(r.is_finite(), "non-finite reservation " << r.to_string());
@@ -208,11 +212,15 @@ void ReservationLedger::reserve(SimTime t0, SimTime t1, const ResourceVector& r)
     for (auto it = begin; it != end; ++it) it->second += r;
     coalesce(t0, t1);
   }
+  if (obs_ != nullptr) {
+    obs_->gauge_max(obs_->ledger().segments_peak, static_cast<double>(segment_count()));
+  }
   if (::vmlp::audit::enabled()) audit_invariants();
 }
 
 void ReservationLedger::release(SimTime t0, SimTime t1, const ResourceVector& r) {
   VMLP_CHECK_MSG(t0 < t1, "empty release window");
+  if (obs_ != nullptr) obs_->count(obs_->ledger().windows_released);
   VMLP_AUDIT_ASSERT(r.is_finite(), "non-finite release " << r.to_string());
   VMLP_AUDIT_ASSERT(!r.any_negative(),
                     "negative release " << r.to_string() << " would inflate the profile");
@@ -337,6 +345,7 @@ ResourceVector ReservationLedger::min_usage(SimTime t0, SimTime t1) const {
 bool ReservationLedger::span_could_fit(SimTime t0, SimTime t1, const ResourceVector& r,
                                        std::size_t* cover_hint) const {
   VMLP_CHECK_MSG(t0 < t1, "empty query window");
+  if (obs_ != nullptr) obs_->count(obs_->ledger().spans_tested);
   if (backend_ == Backend::kFlat) {
     ensure_index();
     const double frac = demand_fraction(r);
@@ -376,6 +385,7 @@ ResourceVector ReservationLedger::available(SimTime t0, SimTime t1) const {
 
 bool ReservationLedger::fits(SimTime t0, SimTime t1, const ResourceVector& r,
                              std::size_t* cover_hint, SimTime* refit_out) const {
+  if (obs_ != nullptr) obs_->count(obs_->ledger().fits_queried);
   if (backend_ == Backend::kFlat) {
     VMLP_CHECK_MSG(t0 < t1, "empty query window");
     ensure_index();
@@ -453,6 +463,7 @@ SimTime ReservationLedger::earliest_fit(SimTime from, SimDuration duration,
         }
       }
       if (blocker == kNoSegment) {
+        if (obs_ != nullptr) obs_->count(obs_->ledger().probes_walked, probes);
         if (probes_out != nullptr) *probes_out = probes;
         return t;
       }
@@ -461,6 +472,7 @@ SimTime ReservationLedger::earliest_fit(SimTime from, SimDuration duration,
       if (j + 1 == segs_.size()) break;  // blocked through the infinite tail
       t = segs_[j + 1].start;
     }
+    if (obs_ != nullptr) obs_->count(obs_->ledger().probes_walked, probes);
     if (probes_out != nullptr) *probes_out = probes;
     return kTimeInfinity;
   }
@@ -471,6 +483,7 @@ SimTime ReservationLedger::earliest_fit(SimTime from, SimDuration duration,
   while (t <= horizon) {
     ++probes;
     if (fits(t, t + duration, r)) {
+      if (obs_ != nullptr) obs_->count(obs_->ledger().probes_walked, probes);
       if (probes_out != nullptr) *probes_out = probes;
       return t;
     }
@@ -478,6 +491,7 @@ SimTime ReservationLedger::earliest_fit(SimTime from, SimDuration duration,
     if (it == profile_.end()) break;  // constant level for the rest of time
     t = it->first;
   }
+  if (obs_ != nullptr) obs_->count(obs_->ledger().probes_walked, probes);
   if (probes_out != nullptr) *probes_out = probes;
   return kTimeInfinity;
 }

@@ -34,6 +34,10 @@
 #include "cluster/resources.h"
 #include "common/types.h"
 
+namespace vmlp::obs {
+class Collector;
+}
+
 namespace vmlp::cluster {
 
 /// "No covering-index hint" sentinel for ReservationLedger::fits /
@@ -124,6 +128,11 @@ class ReservationLedger {
     return backend_ == Backend::kFlat ? segs_.size() : profile_.size();
   }
 
+  /// Attach (or detach with nullptr) a telemetry collector. Write-only:
+  /// recorded hint-hit/probe/booking counts never feed back into any query
+  /// result, so observed and unobserved ledgers answer identically.
+  void set_observer(obs::Collector* obs) { obs_ = obs; }
+
  private:
   /// One piecewise-constant segment: the usage level from `start` until the
   /// next segment's start (the last segment extends to infinity).
@@ -179,6 +188,7 @@ class ReservationLedger {
   /// Component-wise 1/capacity (0 where capacity is 0) for headroom math.
   ResourceVector inv_capacity_;
   Backend backend_;
+  obs::Collector* obs_ = nullptr;  ///< optional telemetry sink (write-only)
 
   std::vector<Segment> segs_;  // flat backend storage
   // Coarse window-max index over the flat segments, rebuilt lazily on the

@@ -1,0 +1,13 @@
+// Minimal JSON string escaping shared by the trace and obs exporters.
+#pragma once
+
+#include <string>
+
+namespace vmlp {
+
+/// Escape `s` for embedding in a JSON string literal: quotes, backslashes
+/// and control characters (\n, \r, \t, \uXXXX for the rest below 0x20).
+/// Multi-byte UTF-8 sequences pass through unchanged.
+std::string json_escape(const std::string& s);
+
+}  // namespace vmlp

@@ -97,6 +97,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.config = config;
   result.run = driver.run();
   result.utilization_series = driver.cluster_monitor().overall_series().mean_series();
+  if (const obs::Collector* c = driver.observer(); c != nullptr) {
+    result.obs.enabled = true;
+    result.obs.snapshot = c->snapshot();
+    result.obs.decisions = c->events().ordered();
+    result.obs.decisions_dropped = c->events().dropped();
+    result.obs.policy_slices = c->policy_slices();
+    result.obs.policy_slices_dropped = c->policy_slices_dropped();
+    result.obs.spans = driver.tracer().spans();
+  }
   return result;
 }
 

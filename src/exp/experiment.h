@@ -9,8 +9,10 @@
 
 #include "loadgen/patterns.h"
 #include "mlp/metrics.h"
+#include "obs/collector.h"
 #include "sched/driver.h"
 #include "sched/scheduler.h"
+#include "trace/span.h"
 
 namespace vmlp::exp {
 
@@ -42,10 +44,24 @@ struct ExperimentConfig {
   loadgen::PatternParams pattern_params;
 };
 
+/// Telemetry captured from one instrumented run (config.driver.obs.enabled).
+/// Strictly an *output* of the run: nothing here feeds back into scheduling,
+/// so RunResult is byte-identical whether or not this was captured.
+struct ObsCapture {
+  bool enabled = false;
+  obs::Snapshot snapshot;                      ///< metrics registry (sim-time domain)
+  std::vector<obs::DecisionEvent> decisions;   ///< ring contents, oldest → newest
+  std::size_t decisions_dropped = 0;           ///< overwritten by ring wraparound
+  std::vector<obs::PolicySlice> policy_slices; ///< host-clock callback profile
+  std::size_t policy_slices_dropped = 0;
+  std::vector<trace::Span> spans;              ///< microservice lanes for the trace
+};
+
 struct ExperimentResult {
   ExperimentConfig config;
   sched::RunResult run;
   std::vector<double> utilization_series;  ///< U per monitor bucket (Fig. 11)
+  ObsCapture obs;                          ///< empty unless driver.obs.enabled
 };
 
 /// Execute one configuration (thread-safe: every run owns its world).

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "exp/experiment.h"
+#include "obs/export.h"
 #include "sched/driver.h"
 
 namespace vmlp::exp {
@@ -103,6 +105,37 @@ std::vector<std::string> failure_cells(const sched::RunResult& r) {
           std::to_string(r.abandoned_requests),
           fmt_double(r.goodput_rps, 1),
           fmt_ms(r.orphaned_p99_latency_us)};
+}
+
+void write_perfetto_trace(const ObsCapture& capture, std::ostream& out) {
+  // Clock-domain separation: simulated-time lanes (spans, decisions) and the
+  // host-time policy profile must never share a pid — Perfetto renders each
+  // process on its own timeline, which is exactly the isolation the dual
+  // domains need.
+  constexpr std::uint64_t kSpansPid = 1;
+  constexpr std::uint64_t kDecisionsPid = 2;
+  constexpr std::uint64_t kHostPid = 3;
+
+  obs::PerfettoWriter writer(out);
+  if (capture.enabled) {
+    writer.process_name(kSpansPid, "sim: microservice execution");
+    for (const trace::Span& s : capture.spans) {
+      obs::PerfettoWriter::Args args;
+      args.emplace_back("request", std::to_string(s.request.value()));
+      args.emplace_back("service", std::to_string(s.service.value()));
+      if (s.node != trace::Span::kNoNode) args.emplace_back("node", std::to_string(s.node));
+      writer.complete(kSpansPid, static_cast<std::uint64_t>(s.machine.value()) + 1, "exec",
+                      "svc" + std::to_string(s.service.value()),
+                      static_cast<double>(s.start), static_cast<double>(s.duration()), args);
+    }
+    obs::write_decision_events(writer, capture.decisions, kDecisionsPid);
+    obs::write_policy_slices(writer, capture.policy_slices, kHostPid);
+  }
+  writer.finish();
+}
+
+void write_metrics_snapshot(const obs::Snapshot& snapshot, std::ostream& out) {
+  obs::write_prometheus_text(snapshot, out);
 }
 
 }  // namespace vmlp::exp

@@ -11,7 +11,13 @@ namespace vmlp::sched {
 struct RunResult;
 }
 
+namespace vmlp::obs {
+struct Snapshot;
+}
+
 namespace vmlp::exp {
+
+struct ObsCapture;
 
 class Table {
  public:
@@ -50,5 +56,17 @@ void print_section(const std::string& title, std::ostream& out = std::cout);
 std::vector<std::string> failure_table_header();
 /// One run's failure metrics formatted for a Table row.
 std::vector<std::string> failure_cells(const sched::RunResult& r);
+
+/// Write one instrumented run's telemetry as Chrome trace-event JSON that
+/// ui.perfetto.dev loads directly. Two clock domains on separate pids:
+///  * pid 1 — microservice execution lanes (one thread per machine) and
+///    pid 2 — scheduler decision instants, both on *simulated* time;
+///  * pid 3 — policy-callback profiling slices on *host* time (nanoseconds
+///    since the run's policy epoch).
+/// No-op (empty valid trace) when the capture is disabled.
+void write_perfetto_trace(const ObsCapture& capture, std::ostream& out);
+
+/// Write the metrics registry snapshot in Prometheus text exposition format.
+void write_metrics_snapshot(const obs::Snapshot& snapshot, std::ostream& out);
 
 }  // namespace vmlp::exp

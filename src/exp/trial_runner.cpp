@@ -50,7 +50,9 @@ TrialSetResult run_trials(const TrialSpec& spec, std::size_t threads) {
       TrialRow row;
       row.index = i;
       row.seed = config.seed;
-      row.run = run_experiment(config).run;
+      ExperimentResult er = run_experiment(config);
+      row.run = er.run;
+      row.obs = std::move(er.obs.snapshot);
       result.trials[i] = std::move(row);
     });
   }
@@ -74,6 +76,13 @@ TrialSetResult run_trials(const TrialSpec& spec, std::size_t threads) {
       summarize(result.trials, [](const TrialRow& t) { return t.run.mean_latency_us; });
   result.throughput_rps =
       summarize(result.trials, [](const TrialRow& t) { return t.run.throughput_rps; });
+  if (spec.base.driver.obs.enabled) {
+    result.obs_enabled = true;
+    result.obs = result.trials.front().obs;
+    for (std::size_t i = 1; i < result.trials.size(); ++i) {
+      result.obs.merge_from(result.trials[i].obs);
+    }
+  }
   return result;
 }
 

@@ -39,6 +39,10 @@ struct TrialRow {
   std::size_t index = 0;
   std::uint64_t seed = 0;
   sched::RunResult run;
+  /// Per-trial metrics registry snapshot (empty unless the base config
+  /// enables telemetry). Each trial owns its collector — shards never share
+  /// registries — and the merge below folds them in trial-index order.
+  obs::Snapshot obs;
 };
 
 /// Mean/min/max of one metric across trials (folded in trial-index order).
@@ -61,6 +65,11 @@ struct TrialSetResult {
   MetricSummary p99_latency_us;
   MetricSummary mean_latency_us;
   MetricSummary throughput_rps;
+  /// Ordered merge of the per-trial registries (counters sum, gauges take the
+  /// peak, histogram buckets add). Folded in trial-index order after the pool
+  /// joins, so the merged snapshot is byte-stable across thread counts.
+  obs::Snapshot obs;
+  bool obs_enabled = false;
 };
 
 /// Run `spec.trials` independent trials on a `threads`-wide pool

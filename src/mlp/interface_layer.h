@@ -42,6 +42,10 @@ class InterfaceLayer {
   [[nodiscard]] std::vector<RequestId> active_requests() const {
     return driver_->active_requests();
   }
+  /// Telemetry sink (nullptr when collection is off). Write-only by contract:
+  /// modules may record decisions through it but must never read it back into
+  /// a decision.
+  [[nodiscard]] obs::Collector* observer() { return driver_->observer(); }
 
   // --- controllers (cgroups analogues) -----------------------------------
   /// cgroups cpuset / memory.limit_in_bytes / net_cls in one call.

@@ -4,6 +4,7 @@
 
 #include "common/audit.h"
 #include "common/error.h"
+#include "obs/collector.h"
 
 namespace vmlp::mlp {
 
@@ -76,6 +77,12 @@ std::size_t SelfHealing::fill_delay_slot(
     iface_->place(rid, n, machine, limit, now, est);
     ++delay_slot_fills_;
     ++filled;
+    if (obs::Collector* obs = iface_->observer(); obs != nullptr) {
+      obs->count(obs->mlp().slots_filled);
+      obs->event(obs::DecisionKind::kDelaySlotFill, now, rid.value(),
+                 static_cast<std::uint32_t>(n), machine.value(),
+                 static_cast<std::int64_t>(est));
+    }
   }
 
   // Request candidates: organize whole requests from the waiting queue into
@@ -92,6 +99,10 @@ std::size_t SelfHealing::fill_delay_slot(
     if (organizer.organize(rid)) {
       ++request_fills_;
       ++filled;
+      if (obs::Collector* obs = iface_->observer(); obs != nullptr) {
+        obs->count(obs->mlp().requests_filled);
+        obs->event(obs::DecisionKind::kDelaySlotFill, now, rid.value());
+      }
     }
   }
   return filled;
@@ -138,6 +149,11 @@ std::size_t SelfHealing::stretch_resources(MachineId machine,
                       "resource stretch overdrew the freed budget: " << budget.to_string());
     ++stretches_;
     ++stretched;
+    if (obs::Collector* obs = iface_->observer(); obs != nullptr) {
+      obs->count(obs->mlp().resources_stretched);
+      obs->event(obs::DecisionKind::kStretch, iface_->now(), rid.value(),
+                 static_cast<std::uint32_t>(n), machine.value());
+    }
   }
   return stretched;
 }

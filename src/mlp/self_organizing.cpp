@@ -6,6 +6,7 @@
 
 #include "common/audit.h"
 #include "common/error.h"
+#include "obs/collector.h"
 
 namespace vmlp::mlp {
 
@@ -183,6 +184,43 @@ SimDuration SelfOrganizing::slack_of(RequestId id, std::size_t node) {
 std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage(
     const Overlay& overlay, const cluster::ResourceVector& demand, SimDuration slack,
     const std::vector<SimTime>& parent_finish, const std::vector<MachineId>& parent_machine) {
+  obs::Collector* obs = iface_->observer();
+  const std::uint64_t hint_hits_before =
+      obs != nullptr ? obs->counter_value(obs->ledger().hints_hit) : 0;
+  std::size_t probes = 0;
+  std::size_t pruned = 0;
+  const auto result = admit_stage_impl(overlay, demand, slack, parent_finish, parent_machine,
+                                       probes, pruned);
+  if (obs != nullptr) {
+    // Per-stage summaries, not per-probe records: one kAdmitProbe event per
+    // stage keeps the ring readable at admission rates of thousands of
+    // probes per simulated second.
+    const SimTime t = iface_->now();
+    obs->count(obs->mlp().probes_spent, probes);
+    obs->event(obs::DecisionKind::kAdmitProbe, t, obs::DecisionEvent::kNoRequest,
+               obs::DecisionEvent::kNoIndex,
+               result.has_value() ? result->first.value() : obs::DecisionEvent::kNoIndex,
+               static_cast<std::int64_t>(probes));
+    if (pruned > 0) {
+      obs->count(obs->mlp().probes_pruned, pruned);
+      obs->event(obs::DecisionKind::kAdmitPrune, t, obs::DecisionEvent::kNoRequest,
+                 obs::DecisionEvent::kNoIndex, obs::DecisionEvent::kNoIndex,
+                 static_cast<std::int64_t>(pruned));
+    }
+    const std::uint64_t hits = obs->counter_value(obs->ledger().hints_hit) - hint_hits_before;
+    if (hits > 0) {
+      obs->event(obs::DecisionKind::kAdmitHintHit, t, obs::DecisionEvent::kNoRequest,
+                 obs::DecisionEvent::kNoIndex, obs::DecisionEvent::kNoIndex,
+                 static_cast<std::int64_t>(hits));
+    }
+  }
+  return result;
+}
+
+std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage_impl(
+    const Overlay& overlay, const cluster::ResourceVector& demand, SimDuration slack,
+    const std::vector<SimTime>& parent_finish, const std::vector<MachineId>& parent_machine,
+    std::size_t& probes_out, std::size_t& pruned_out) {
   const std::size_t n_machines = iface_->cluster().machine_count();
   const SimTime now = iface_->now();
   const SimDuration step =
@@ -221,7 +259,8 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage(
     return desired;
   };
 
-  std::size_t probes = 0;
+  std::size_t& probes = probes_out;
+  std::size_t& pruned = pruned_out;
   for (std::size_t k = 0; k <= params_.plan_search_steps; ++k) {
     // Tracks whether this pass met any machine that could still admit. Once
     // every up machine is classified 2 (guaranteed fail), the remaining slip
@@ -240,7 +279,10 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage(
       std::int8_t* state = nullptr;
       if (fast) {
         state = &probe_state_[m.value()];
-        if (*state == 2) continue;  // counted, and provably would have failed
+        if (*state == 2) {
+          ++pruned;
+          continue;  // counted, and provably would have failed
+        }
         if (*state == 0) {
           desired = desired_for(m);
           probe_desired_[m.value()] = desired;
@@ -256,6 +298,7 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage(
         // this machine hit, so it provably fails (the run's bound holds for
         // every later-starting window of the same demand and duration).
         any_probeable = true;  // later slip steps may clear the run
+        ++pruned;
         continue;
       }
       std::size_t* cover = fast ? &probe_cover_[m.value()] : nullptr;
@@ -339,6 +382,8 @@ std::optional<std::vector<NodePlan>> SelfOrganizing::try_chain(
 bool SelfOrganizing::organize(RequestId id) {
   sched::ActiveRequest* ar = iface_->find_request(id);
   if (ar == nullptr) return false;
+  obs::Collector* obs = iface_->observer();
+  if (obs != nullptr) obs->count(obs->mlp().organize_calls);
   const auto& type = ar->runtime.type();
   PlanContext ctx = make_context(*ar);
 
@@ -360,10 +405,28 @@ bool SelfOrganizing::organize(RequestId id) {
       iface_->place(id, plan.node, plan.machine, svc.demand, plan.start, plan.busy);
     }
     ++plans_committed_;
+    if (obs != nullptr) {
+      obs->count(obs->mlp().plans_committed);
+      obs->count(obs->mlp().stages_coalesced, plans->size());
+      obs->event(obs::DecisionKind::kCoalesce, iface_->now(), id.value(),
+                 obs::DecisionEvent::kNoIndex, obs::DecisionEvent::kNoIndex,
+                 static_cast<std::int64_t>(plans->size()));
+      for (const auto& plan : *plans) {
+        // A stage with predecessors was aligned against their predicted
+        // finishes (Algorithm 1's Δt alignment); roots only pay the ingress
+        // hop.
+        if (type.dag().parents(plan.node).empty()) continue;
+        obs->count(obs->mlp().stages_aligned);
+        obs->event(obs::DecisionKind::kAlign, iface_->now(), id.value(),
+                   static_cast<std::uint32_t>(plan.node), plan.machine.value(),
+                   static_cast<std::int64_t>(plan.slack));
+      }
+    }
     return true;
   }
   ++plans_deferred_;
   last_defer_at_ = iface_->now();
+  if (obs != nullptr) obs->count(obs->mlp().plans_deferred);
   return false;
 }
 

@@ -130,6 +130,13 @@ class SelfOrganizing {
   [[nodiscard]] std::optional<std::pair<MachineId, SimTime>> admit_stage(
       const Overlay& overlay, const cluster::ResourceVector& demand, SimDuration slack,
       const std::vector<SimTime>& parent_finish, const std::vector<MachineId>& parent_machine);
+  /// admit_stage's search loop; the public wrapper only adds telemetry.
+  /// `probes_out` / `pruned_out` report the stage's probe budget spend and
+  /// how many of those probes were pruned (classified or refit-bound skips).
+  [[nodiscard]] std::optional<std::pair<MachineId, SimTime>> admit_stage_impl(
+      const Overlay& overlay, const cluster::ResourceVector& demand, SimDuration slack,
+      const std::vector<SimTime>& parent_finish, const std::vector<MachineId>& parent_machine,
+      std::size_t& probes_out, std::size_t& pruned_out);
 
   [[nodiscard]] std::optional<std::vector<NodePlan>> try_chain(
       sched::ActiveRequest& ar, const std::vector<std::size_t>& chain, PlanContext& ctx);

@@ -112,19 +112,19 @@ void VmlpScheduler::on_late_invocation(RequestId id, std::size_t node) {
     // nodes into the slot; drop entries that are now handled.
     waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
                                   [this](RequestId rid) {
-                                    sched::ActiveRequest* ar = driver_->find_request(rid);
-                                    if (ar == nullptr) return true;
-                                    for (std::size_t n = 0; n < ar->nodes.size(); ++n) {
-                                      if (!ar->nodes[n].placed && !ar->nodes[n].done) return false;
+                                    sched::ActiveRequest* req = driver_->find_request(rid);
+                                    if (req == nullptr) return true;
+                                    for (std::size_t n = 0; n < req->nodes.size(); ++n) {
+                                      if (!req->nodes[n].placed && !req->nodes[n].done) return false;
                                     }
                                     return true;
                                   }),
                    waiting_.end());
     ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
                                 [this](const auto& e) {
-                                  sched::ActiveRequest* ar = driver_->find_request(e.first);
-                                  return ar == nullptr || ar->nodes[e.second].placed ||
-                                         ar->nodes[e.second].done;
+                                  sched::ActiveRequest* req = driver_->find_request(e.first);
+                                  return req == nullptr || req->nodes[e.second].placed ||
+                                         req->nodes[e.second].done;
                                 }),
                  ready_.end());
   }
@@ -135,6 +135,9 @@ void VmlpScheduler::on_node_orphaned(RequestId id, std::size_t node) {
   // orphaned stage onto a live machine's reserved window; park it in the
   // ready queue otherwise — the periodic pass keeps retrying.
   ++orphan_relocations_;
+  if (obs::Collector* obs = iface_->observer(); obs != nullptr) {
+    obs->count(obs->mlp().orphans_relocated);
+  }
   if (!organizer_->organize_node(id, node)) ready_.emplace_back(id, node);
 }
 

@@ -1,0 +1,164 @@
+// obs::Collector — one run's telemetry: a metrics registry, a decision-event
+// ring, and a host-time policy-profiling slice buffer.
+//
+// The collector is the single registration site for every metric name in the
+// simulator (grouped into per-subsystem handle structs below), which makes
+// "register once per name" checkable both at runtime (Registry) and
+// statically (tools/vmlp_lint.py).
+//
+// Zero-perturbation contract:
+//  * Subsystems hold a `Collector*` that is null when telemetry is off; every
+//    instrumentation site is `if (obs_) obs_->...`. Recording never reads
+//    back into any decision, RNG draw, or simulated state, so RunResult and
+//    every exported figure table are byte-identical with collection on or
+//    off (determinism_check claim 6).
+//  * Clock domains never mix: the registry and the event ring carry only
+//    simulated-time values and are themselves deterministic; host-clock
+//    policy slices live in a separate buffer that only the Perfetto exporter
+//    reads and no byte-compared output ever includes.
+//  * Compiling with -DVMLP_NO_OBS turns every recording method into an empty
+//    inline body, so the `if (obs_)` sites fold away entirely — the 0%-cost
+//    build gated by the obs_overhead bench family.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/events.h"
+#include "obs/registry.h"
+
+namespace vmlp::obs {
+
+struct Params {
+  bool enabled = false;
+  /// Decision-event ring capacity (records kept; older ones are counted and
+  /// overwritten). 0 keeps counters/histograms but records no events.
+  std::size_t ring_capacity = 1 << 16;
+  /// Also record a ring event per engine reschedule — the hottest site in
+  /// the simulator (~1 per executed event), so it is opt-in on top of
+  /// `enabled`. Counters still track reschedules either way.
+  bool ring_engine_events = false;
+  /// Host-time policy profiling slices kept for Perfetto export (further
+  /// slices are counted as dropped).
+  std::size_t max_policy_slices = 1 << 16;
+};
+
+/// Which scheduler policy callback a host-time profiling slice covers.
+enum class PolicyCallback : std::uint8_t {
+  kArrival = 0,
+  kTick,
+  kNodeStarted,
+  kNodeFinished,
+  kRequestFinished,
+  kNodeUnblocked,
+  kLateInvocation,
+  kNodeOrphaned,
+  kCallbackCount,
+};
+
+[[nodiscard]] const char* policy_callback_name(PolicyCallback cb);
+
+/// One host-clock interval spent inside a scheduler policy callback,
+/// relative to the run's start. Nondeterministic by nature — exported to the
+/// Perfetto host lane only, never byte-compared.
+struct PolicySlice {
+  PolicyCallback kind = PolicyCallback::kArrival;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
+class Collector {
+ public:
+  explicit Collector(const Params& params);
+
+  // ---- pre-registered handle families (all names live in collector.cpp) --
+  struct EngineMetrics {
+    CounterHandle events_scheduled, events_executed, events_cancelled, events_rescheduled;
+    GaugeHandle pending_peak;
+  };
+  struct DriverMetrics {
+    CounterHandle requests_arrived, requests_completed, requests_unfinished,
+        placements_committed, starts_early, starts_ontime, starts_denied, lates_fired,
+        limits_adjusted, bursts_injected;
+    HistogramHandle latency_us;
+  };
+  struct FailureMetrics {
+    CounterHandle machines_crashed, machines_recovered, containers_faulted,
+        invocations_timedout, nodes_orphaned, retries_scheduled, retries_dropped;
+    GaugeHandle windows_planned;
+  };
+  struct LedgerMetrics {
+    CounterHandle windows_reserved, windows_released, fits_queried, spans_tested,
+        probes_walked, hints_hit, hints_missed;
+    GaugeHandle segments_peak;
+  };
+  struct MlpMetrics {
+    CounterHandle organize_calls, plans_committed, plans_deferred, stages_coalesced,
+        stages_aligned, probes_spent, probes_pruned, slots_filled, requests_filled,
+        resources_stretched, orphans_relocated;
+  };
+
+  [[nodiscard]] const EngineMetrics& engine() const { return engine_; }
+  [[nodiscard]] const DriverMetrics& driver() const { return driver_; }
+  [[nodiscard]] const FailureMetrics& failure() const { return failure_; }
+  [[nodiscard]] const LedgerMetrics& ledger() const { return ledger_; }
+  [[nodiscard]] const MlpMetrics& mlp() const { return mlp_; }
+
+  // ---- hot recording path (inline; compiled out under VMLP_NO_OBS) -------
+#ifndef VMLP_NO_OBS
+  void count(CounterHandle h, std::uint64_t n = 1) { registry_.count(h, n); }
+  void set_counter(CounterHandle h, std::uint64_t v) { registry_.set_counter(h, v); }
+  void set_gauge(GaugeHandle h, double v) { registry_.set_gauge(h, v); }
+  void gauge_max(GaugeHandle h, double v) { registry_.gauge_max(h, v); }
+  void observe(HistogramHandle h, double v) { registry_.observe(h, v); }
+  void event(DecisionKind kind, SimTime at, std::uint64_t request = DecisionEvent::kNoRequest,
+             std::uint32_t node = DecisionEvent::kNoIndex,
+             std::uint32_t machine = DecisionEvent::kNoIndex, std::int64_t detail = 0) {
+    ring_.push(DecisionEvent{kind, at, request, node, machine, detail});
+  }
+  void policy_slice(PolicyCallback kind, std::int64_t start_ns, std::int64_t dur_ns) {
+    if (slices_.size() < params_.max_policy_slices) {
+      slices_.push_back(PolicySlice{kind, start_ns, dur_ns});
+    } else {
+      ++slices_dropped_;
+    }
+  }
+#else
+  void count(CounterHandle, std::uint64_t = 1) {}
+  void set_counter(CounterHandle, std::uint64_t) {}
+  void set_gauge(GaugeHandle, double) {}
+  void gauge_max(GaugeHandle, double) {}
+  void observe(HistogramHandle, double) {}
+  void event(DecisionKind, SimTime, std::uint64_t = DecisionEvent::kNoRequest,
+             std::uint32_t = DecisionEvent::kNoIndex, std::uint32_t = DecisionEvent::kNoIndex,
+             std::int64_t = 0) {}
+  void policy_slice(PolicyCallback, std::int64_t, std::int64_t) {}
+#endif
+
+  [[nodiscard]] bool ring_engine_events() const { return params_.ring_engine_events; }
+  [[nodiscard]] std::uint64_t counter_value(CounterHandle h) const {
+    return registry_.counter_value(h);
+  }
+
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+  [[nodiscard]] const EventRing& events() const { return ring_; }
+  [[nodiscard]] const std::vector<PolicySlice>& policy_slices() const { return slices_; }
+  [[nodiscard]] std::uint64_t policy_slices_dropped() const { return slices_dropped_; }
+  [[nodiscard]] Snapshot snapshot() const { return registry_.snapshot(); }
+
+ private:
+  Params params_;
+  Registry registry_;
+  EventRing ring_;
+  std::vector<PolicySlice> slices_;
+  std::uint64_t slices_dropped_ = 0;
+
+  EngineMetrics engine_;
+  DriverMetrics driver_;
+  FailureMetrics failure_;
+  LedgerMetrics ledger_;
+  MlpMetrics mlp_;
+};
+
+}  // namespace vmlp::obs

@@ -1,0 +1,161 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vmlp::obs {
+
+namespace {
+
+bool is_style_component(const std::string& s, std::size_t begin, std::size_t end) {
+  if (begin >= end) return false;
+  if (s[begin] < 'a' || s[begin] > 'z') return false;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = s[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Registry::check_name(const std::string& name) const {
+  // subsystem.noun_verb: >= 2 dot-separated lowercase components.
+  std::size_t components = 0;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '.') {
+      VMLP_CHECK_MSG(is_style_component(name, begin, i),
+                     "metric name '" << name << "' violates subsystem.noun_verb style");
+      ++components;
+      begin = i + 1;
+    }
+  }
+  VMLP_CHECK_MSG(components >= 2,
+                 "metric name '" << name << "' needs a subsystem prefix (subsystem.noun_verb)");
+  for (const Meta& m : meta_) {
+    VMLP_CHECK_MSG(m.name != name, "metric '" << name << "' registered twice");
+  }
+}
+
+CounterHandle Registry::add_counter(const std::string& name, const std::string& help) {
+  check_name(name);
+  const auto idx = static_cast<std::uint32_t>(counters_.size());
+  counters_.push_back(0);
+  meta_.push_back({name, help, MetricKind::kCounter, idx});
+  return CounterHandle{idx};
+}
+
+GaugeHandle Registry::add_gauge(const std::string& name, const std::string& help) {
+  check_name(name);
+  const auto idx = static_cast<std::uint32_t>(gauges_.size());
+  gauges_.push_back(0.0);
+  meta_.push_back({name, help, MetricKind::kGauge, idx});
+  return GaugeHandle{idx};
+}
+
+HistogramHandle Registry::add_histogram(const std::string& name, const std::string& help,
+                                        std::vector<double> bounds) {
+  check_name(name);
+  VMLP_CHECK_MSG(!bounds.empty(), "histogram '" << name << "' needs at least one bucket bound");
+  VMLP_CHECK_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+                 "histogram '" << name << "' bounds must be ascending");
+  const auto idx = static_cast<std::uint32_t>(hists_.size());
+  HistogramData h;
+  h.buckets.assign(bounds.size() + 1, 0);
+  h.bounds = std::move(bounds);
+  hists_.push_back(std::move(h));
+  meta_.push_back({name, help, MetricKind::kHistogram, idx});
+  return HistogramHandle{idx};
+}
+
+void Registry::observe(HistogramHandle h, double v) {
+  HistogramData& hist = hists_[h.idx];
+  std::size_t b = 0;
+  while (b < hist.bounds.size() && v > hist.bounds[b]) ++b;
+  ++hist.buckets[b];
+  ++hist.count;
+  hist.sum += v;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.metrics.reserve(meta_.size());
+  for (const Meta& m : meta_) {
+    MetricSnapshot out;
+    out.name = m.name;
+    out.help = m.help;
+    out.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out.counter = counters_[m.idx];
+        break;
+      case MetricKind::kGauge:
+        out.gauge = gauges_[m.idx];
+        break;
+      case MetricKind::kHistogram:
+        out.hist = hists_[m.idx];
+        break;
+    }
+    snap.metrics.push_back(std::move(out));
+  }
+  return snap;
+}
+
+void Snapshot::merge_from(const Snapshot& other) {
+  VMLP_CHECK_MSG(metrics.size() == other.metrics.size(),
+                 "merging snapshots from differently registered collectors");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    MetricSnapshot& a = metrics[i];
+    const MetricSnapshot& b = other.metrics[i];
+    VMLP_CHECK_MSG(a.name == b.name && a.kind == b.kind,
+                   "snapshot layout mismatch at '" << a.name << "' vs '" << b.name << "'");
+    switch (a.kind) {
+      case MetricKind::kCounter:
+        a.counter += b.counter;
+        break;
+      case MetricKind::kGauge:
+        a.gauge = std::max(a.gauge, b.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        VMLP_CHECK_MSG(a.hist.bounds == b.hist.bounds,
+                       "histogram '" << a.name << "' bucket bounds differ across shards");
+        for (std::size_t j = 0; j < a.hist.buckets.size(); ++j) {
+          a.hist.buckets[j] += b.hist.buckets[j];
+        }
+        a.hist.count += b.hist.count;
+        a.hist.sum += b.hist.sum;
+        break;
+      }
+    }
+  }
+}
+
+const MetricSnapshot* Snapshot::find(const std::string& name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::size_t Snapshot::nonzero_count() const {
+  std::size_t n = 0;
+  for (const MetricSnapshot& m : metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        n += m.counter != 0 ? 1 : 0;
+        break;
+      case MetricKind::kGauge:
+        n += m.gauge != 0.0 ? 1 : 0;
+        break;
+      case MetricKind::kHistogram:
+        n += m.hist.count != 0 ? 1 : 0;
+        break;
+    }
+  }
+  return n;
+}
+
+}  // namespace vmlp::obs

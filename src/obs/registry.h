@@ -1,0 +1,117 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms behind
+// pre-registered integer handles.
+//
+// Design rules (the zero-perturbation contract, DESIGN.md §10):
+//  * Registration is cold and happens once, in obs::Collector's constructor —
+//    the single place metric names live (tools/vmlp_lint.py enforces the
+//    naming style and name uniqueness statically; the registry re-checks at
+//    runtime).
+//  * The hot path is an indexed add into a plain array. No locks, no hashing,
+//    no allocation: one registry belongs to exactly one single-threaded
+//    simulation run (parallel trial shards each own a private registry and
+//    merge snapshots in trial-index order afterwards).
+//  * Only simulated-domain values may enter the registry. Host-clock
+//    measurements (policy profiling) live in obs::Collector's slice buffer so
+//    every Snapshot is deterministic and safe to byte-compare across thread
+//    counts and runs (determinism_check claim 6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmlp::obs {
+
+struct CounterHandle {
+  std::uint32_t idx = 0;
+};
+struct GaugeHandle {
+  std::uint32_t idx = 0;
+};
+struct HistogramHandle {
+  std::uint32_t idx = 0;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Cumulative histogram state: `buckets[i]` counts observations
+/// <= bounds[i]; the final implicit +Inf bucket is buckets[bounds.size()].
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// One metric's frozen value, in registration order within a Snapshot.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;  ///< kCounter
+  double gauge = 0.0;         ///< kGauge
+  HistogramData hist;         ///< kHistogram
+};
+
+/// A frozen, deterministic copy of a registry — what experiment results carry
+/// and what the Prometheus exporter renders.
+struct Snapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// Fold another shard's snapshot into this one: counters and histogram
+  /// buckets sum, gauges take the max (every registered gauge is a peak /
+  /// high-water mark). Both snapshots must come from identically registered
+  /// collectors; call in a fixed shard order so float sums stay byte-stable.
+  void merge_from(const Snapshot& other);
+
+  [[nodiscard]] const MetricSnapshot* find(const std::string& name) const;
+  /// Metrics with at least one recorded value (tests' vacuity guard).
+  [[nodiscard]] std::size_t nonzero_count() const;
+};
+
+class Registry {
+ public:
+  /// Registration (cold): names must be unique, lowercase, dot-separated
+  /// `subsystem.noun_verb` style — see tools/vmlp_lint.py. Throws
+  /// InvariantError on a duplicate or malformed name.
+  CounterHandle add_counter(const std::string& name, const std::string& help);
+  GaugeHandle add_gauge(const std::string& name, const std::string& help);
+  HistogramHandle add_histogram(const std::string& name, const std::string& help,
+                                std::vector<double> bounds);
+
+  // ---- hot path: plain indexed array ops, no locks ----------------------
+  void count(CounterHandle h, std::uint64_t n = 1) { counters_[h.idx] += n; }
+  /// Counters synced from an authoritative external tally (engine/driver
+  /// counters copied in at snapshot time instead of per-op increments).
+  void set_counter(CounterHandle h, std::uint64_t v) { counters_[h.idx] = v; }
+  void set_gauge(GaugeHandle h, double v) { gauges_[h.idx] = v; }
+  /// Peak-tracking gauge update.
+  void gauge_max(GaugeHandle h, double v) {
+    if (v > gauges_[h.idx]) gauges_[h.idx] = v;
+  }
+  void observe(HistogramHandle h, double v);
+
+  [[nodiscard]] std::uint64_t counter_value(CounterHandle h) const { return counters_[h.idx]; }
+  [[nodiscard]] double gauge_value(GaugeHandle h) const { return gauges_[h.idx]; }
+  [[nodiscard]] std::size_t metric_count() const { return meta_.size(); }
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  struct Meta {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    std::uint32_t idx;  ///< index into the kind-specific value array
+  };
+
+  void check_name(const std::string& name) const;
+
+  std::vector<Meta> meta_;  ///< registration order (snapshot/export order)
+  std::vector<std::uint64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<HistogramData> hists_;
+};
+
+}  // namespace vmlp::obs

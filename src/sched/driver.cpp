@@ -18,17 +18,25 @@ namespace {
 /// outermost scope on a callback chain accumulates, so a policy that
 /// synchronously triggers another callback (place -> immediate start ->
 /// on_node_started) is not double-counted. Host time never influences
-/// simulation decisions — it only feeds RunResult::policy_seconds.
+/// simulation decisions — it only feeds RunResult::policy_seconds and, when
+/// telemetry is on, the collector's host-clock profiling slices (which only
+/// the Perfetto exporter reads; no byte-compared output includes them).
 class PolicyScope {
  public:
-  PolicyScope(std::int64_t& acc, int& depth) : acc_(acc), depth_(depth) {
+  PolicyScope(std::int64_t& acc, int& depth, obs::Collector* obs, obs::PolicyCallback kind,
+              std::chrono::steady_clock::time_point epoch)
+      : acc_(acc), depth_(depth), obs_(obs), kind_(kind), epoch_(epoch) {
     if (depth_++ == 0) start_ = std::chrono::steady_clock::now();
   }
   ~PolicyScope() {
     if (--depth_ == 0) {
-      acc_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start_)
-                  .count();
+      const auto ns = [](std::chrono::steady_clock::duration d) {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+      };
+      const auto end = std::chrono::steady_clock::now();
+      const std::int64_t dur = ns(end - start_);
+      acc_ += dur;
+      if (obs_ != nullptr) obs_->policy_slice(kind_, ns(start_ - epoch_), dur);
     }
   }
   PolicyScope(const PolicyScope&) = delete;
@@ -37,6 +45,9 @@ class PolicyScope {
  private:
   std::int64_t& acc_;
   int& depth_;
+  obs::Collector* obs_;
+  obs::PolicyCallback kind_;
+  std::chrono::steady_clock::time_point epoch_;
   std::chrono::steady_clock::time_point start_;
 };
 }  // namespace
@@ -57,6 +68,16 @@ SimulationDriver::SimulationDriver(const app::Application& application, ISchedul
       failure_schedule_(build_failure_schedule(params.failure, params.seed, params.horizon,
                                                params.cluster.machine_count)) {
   VMLP_CHECK_MSG(params.horizon > 0 && params.tick > 0, "bad driver timing params");
+  if (params_.obs.enabled) {
+    // Telemetry is strictly write-only: the collector never feeds a decision,
+    // an RNG draw, or any simulated state, so attaching it cannot perturb the
+    // run (determinism_check claim 6 pins this byte-for-byte).
+    obs_ = std::make_unique<obs::Collector>(params_.obs);
+    engine_.set_observer(obs_.get());
+    for (std::size_t m = 0; m < cluster_.machine_count(); ++m) {
+      cluster_.machine(MachineId(static_cast<std::uint32_t>(m))).ledger().set_observer(obs_.get());
+    }
+  }
   volatility_cache_.resize(app_.request_count(), 0.0);
   for (const auto& rt : app_.requests()) {
     qos_.set_slo(rt.id(), rt.slo());
@@ -101,7 +122,8 @@ void SimulationDriver::on_arrival(RequestTypeId type) {
   tracer_.on_request_arrival(rid, type, engine_.now());
   ++arrived_;
   {
-    PolicyScope scope(policy_ns_, policy_depth_);
+    PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kArrival,
+                          policy_epoch_);
     scheduler_.on_request_arrival(rid);
   }
 }
@@ -263,7 +285,8 @@ void SimulationDriver::schedule_start_attempt(ActiveRequest& ar, std::size_t nod
         DriverNode& n = r->nodes[node];
         if (!n.running && !n.done) {
           ++counters_.late_events;
-          PolicyScope scope(policy_ns_, policy_depth_);
+          PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kLateInvocation,
+                          policy_epoch_);
           scheduler_.on_late_invocation(rid, node);
         }
       });
@@ -277,7 +300,8 @@ void SimulationDriver::schedule_start_attempt(ActiveRequest& ar, std::size_t nod
         DriverNode& n = r->nodes[node];
         if (!n.running && !n.done) {
           ++counters_.late_events;
-          PolicyScope scope(policy_ns_, policy_depth_);
+          PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kLateInvocation,
+                          policy_epoch_);
           scheduler_.on_late_invocation(rid, node);
         }
       });
@@ -325,7 +349,8 @@ void SimulationDriver::start_node(RequestId id, std::size_t node) {
       if (dn.early_denial_streak >= DriverNode::kStuckThreshold && !dn.stuck_notified) {
         dn.stuck_notified = true;
         ++counters_.late_events;
-        PolicyScope scope(policy_ns_, policy_depth_);
+        PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kLateInvocation,
+                          policy_epoch_);
         scheduler_.on_late_invocation(id, node);
       }
       return;
@@ -384,7 +409,8 @@ void SimulationDriver::start_node(RequestId id, std::size_t node) {
   running_on_[dn.machine.value()].push_back(RunningRef{id, node, ar});
   recompute_machine(dn.machine);
   {
-    PolicyScope scope(policy_ns_, policy_depth_);
+    PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kNodeStarted,
+                          policy_epoch_);
     scheduler_.on_node_started(id, node);
   }
 }
@@ -486,8 +512,10 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
   const SimTime started = ar->runtime.node(node).started_at;
 
   // Tracing + profiling (Fig. 8's feedback loop).
-  tracer_.record_span(trace::Span{id, ar->runtime.type().id(), req_node.service, dn.instance,
-                                  dn.machine, started, t});
+  trace::Span span{id, ar->runtime.type().id(), req_node.service, dn.instance,
+                   dn.machine, started, t};
+  span.node = static_cast<std::uint32_t>(node);
+  tracer_.record_span(span);
   trace::ExecutionCase c;
   c.usage = dn.limit;
   c.machine_load = m.utilization_sum() / 3.0;
@@ -503,17 +531,22 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
     handle_parent_finished(*ar, child, dn.machine, t);
   }
   {
-    PolicyScope scope(policy_ns_, policy_depth_);
+    PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kNodeFinished,
+                          policy_epoch_);
     scheduler_.on_node_finished(id, node);
   }
 
   if (ar->runtime.finished()) {
     tracer_.on_request_completion(id, t);
     qos_.record_completion(ar->runtime.type().id(), t - ar->runtime.arrival());
+    if (obs_ != nullptr) {
+      obs_->observe(obs_->driver().latency_us, static_cast<double>(t - ar->runtime.arrival()));
+    }
     if (ar->degraded) orphaned_latencies_.add(static_cast<double>(t - ar->runtime.arrival()));
     ++completed_;
     {
-      PolicyScope scope(policy_ns_, policy_depth_);
+      PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kRequestFinished,
+                          policy_epoch_);
       scheduler_.on_request_finished(id);
     }
     requests_.erase(id);
@@ -533,7 +566,8 @@ void SimulationDriver::handle_parent_finished(ActiveRequest& ar, std::size_t chi
     schedule_start_attempt(ar, child);
   } else {
     ar.runtime.mark_ready(child, engine_.now());
-    PolicyScope scope(policy_ns_, policy_depth_);
+    PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kNodeUnblocked,
+                          policy_epoch_);
     scheduler_.on_node_unblocked(ar.runtime.id(), child);
   }
 }
@@ -647,6 +681,11 @@ void SimulationDriver::crash_machine(MachineId machine) {
   VMLP_CHECK_MSG(m.up(), "crash on already-down machine " << machine.value());
   m.set_up(false);
   ++counters_.machine_crashes;
+  if (obs_ != nullptr) {
+    obs_->count(obs_->failure().machines_crashed);
+    obs_->event(obs::DecisionKind::kCrash, engine_.now(), obs::DecisionEvent::kNoRequest,
+                obs::DecisionEvent::kNoIndex, machine.value());
+  }
 
   // Orphan every running execution here. Copy the refs: the fail path edits
   // running_on_ and may trigger scheduler callbacks that place elsewhere.
@@ -669,10 +708,15 @@ void SimulationDriver::crash_machine(MachineId machine) {
       unplace(id, node);
       ar->degraded = true;
       ++counters_.orphaned_pending;
+      if (obs_ != nullptr) {
+        obs_->event(obs::DecisionKind::kOrphan, engine_.now(), id.value(),
+                    static_cast<std::uint32_t>(node), machine.value());
+      }
       // Nothing executed, so no retry is charged: deps-met nodes go straight
       // back to the scheduler; the rest re-enter via handle_parent_finished.
       if (ar->runtime.node(node).pending_parents == 0) {
-        PolicyScope scope(policy_ns_, policy_depth_);
+        PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kNodeOrphaned,
+                          policy_epoch_);
         scheduler_.on_node_orphaned(id, node);
       }
     }
@@ -704,6 +748,11 @@ void SimulationDriver::recover_machine(MachineId machine) {
   VMLP_CHECK_MSG(!m.up(), "recovery on up machine " << machine.value());
   m.set_up(true);
   ++counters_.machine_recoveries;
+  if (obs_ != nullptr) {
+    obs_->count(obs_->failure().machines_recovered);
+    obs_->event(obs::DecisionKind::kRecover, engine_.now(), obs::DecisionEvent::kNoRequest,
+                obs::DecisionEvent::kNoIndex, machine.value());
+  }
 }
 
 void SimulationDriver::fail_running_node(ActiveRequest& ar, std::size_t node) {
@@ -741,6 +790,10 @@ void SimulationDriver::fail_running_node(ActiveRequest& ar, std::size_t node) {
   ++dn.attempts;
   ar.degraded = true;
   ++counters_.orphaned_running;
+  if (obs_ != nullptr) {
+    obs_->event(obs::DecisionKind::kOrphan, t, id.value(), static_cast<std::uint32_t>(node),
+                machine.value());
+  }
   ar.runtime.mark_failed(node, t);
   audit_machine_conservation(machine);
   if (m.up()) recompute_machine(machine);  // survivors re-rate on the freed capacity
@@ -756,6 +809,11 @@ void SimulationDriver::schedule_retry(ActiveRequest& ar, std::size_t node) {
     return;  // the request stays unfinished; horizon accounting charges it
   }
   ++counters_.retries_scheduled;
+  if (obs_ != nullptr) {
+    obs_->event(obs::DecisionKind::kRetry, engine_.now(), ar.runtime.id().value(),
+                static_cast<std::uint32_t>(node), obs::DecisionEvent::kNoIndex,
+                static_cast<std::int64_t>(dn.attempts));
+  }
   const double factor = std::pow(std::max(1.0, params_.failure.retry_backoff_factor),
                                  static_cast<double>(dn.attempts - 1));
   const auto backoff = std::max<SimDuration>(
@@ -768,7 +826,8 @@ void SimulationDriver::schedule_retry(ActiveRequest& ar, std::size_t node) {
     const DriverNode& n = r->nodes[node];
     if (n.placed || n.running || n.done || n.abandoned) return;
     if (r->runtime.node(node).pending_parents != 0) return;  // re-enters via parents
-    PolicyScope scope(policy_ns_, policy_depth_);
+    PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kNodeOrphaned,
+                          policy_epoch_);
     scheduler_.on_node_orphaned(id, node);
   });
 }
@@ -796,12 +855,18 @@ void SimulationDriver::invocation_timeout(RequestId id, std::size_t node) {
 RunResult SimulationDriver::run() {
   VMLP_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
+  policy_epoch_ = std::chrono::steady_clock::now();
+  if (obs_ != nullptr) {
+    obs_->set_gauge(obs_->failure().windows_planned,
+                    static_cast<double>(failure_schedule_.size()));
+  }
   scheduler_.attach(*this);
   monitor_.attach(engine_);
   schedule_next_interference();
   schedule_failures();
   engine_.schedule_periodic(params_.tick, params_.tick, [this] {
-    PolicyScope scope(policy_ns_, policy_depth_);
+    PolicyScope scope(policy_ns_, policy_depth_, obs_.get(), obs::PolicyCallback::kTick,
+                          policy_epoch_);
     scheduler_.on_tick();
   });
   if (params_.ledger_compact_period > 0) {
@@ -851,7 +916,36 @@ RunResult SimulationDriver::run() {
   const std::size_t met_slo = qos_.total() - qos_.violations();
   result.goodput_rps =
       static_cast<double>(met_slo) / (static_cast<double>(params_.horizon) / kSec);
+  sync_observability(result);
   return result;
+}
+
+void SimulationDriver::sync_observability(const RunResult& result) {
+  if (obs_ == nullptr) return;
+  // Counters the driver already maintains are copied into the registry once,
+  // at end of run, rather than double-counted on the hot path. The registry
+  // is the export surface; Counters stays the source of truth.
+  obs::Collector& c = *obs_;
+  const auto& d = c.driver();
+  c.set_counter(d.requests_arrived, arrived_);
+  c.set_counter(d.requests_completed, completed_);
+  c.set_counter(d.requests_unfinished, result.unfinished);
+  c.set_counter(d.placements_committed, counters_.placements);
+  c.set_counter(d.starts_early, counters_.early_starts);
+  c.set_counter(d.starts_ontime, counters_.on_time_starts);
+  c.set_counter(d.starts_denied, counters_.early_denials);
+  c.set_counter(d.lates_fired, counters_.late_events);
+  c.set_counter(d.limits_adjusted, counters_.reallocations);
+  c.set_counter(d.bursts_injected, counters_.interference_bursts);
+  const auto& f = c.failure();
+  c.set_counter(f.containers_faulted, counters_.container_faults);
+  c.set_counter(f.invocations_timedout, counters_.invocation_timeouts);
+  c.set_counter(f.nodes_orphaned, counters_.orphaned_running + counters_.orphaned_pending);
+  c.set_counter(f.retries_scheduled, counters_.retries_scheduled);
+  c.set_counter(f.retries_dropped, counters_.retries_dropped);
+  // The engine keeps its own tallies (plain members on the hot paths);
+  // publish them into the registry in the same end-of-run sync.
+  engine_.flush_observability();
 }
 
 }  // namespace vmlp::sched

@@ -21,6 +21,7 @@
 //    self-healing module hangs off.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "monitor/monitor.h"
 #include "net/comm_model.h"
 #include "net/topology.h"
+#include "obs/collector.h"
 #include "sched/failure.h"
 #include "sched/scheduler.h"
 #include "sim/engine.h"
@@ -75,6 +77,10 @@ struct DriverParams {
   std::size_t profile_warmup = 64;
   /// Drop per-machine ledger history every this often (0 = never).
   SimDuration ledger_compact_period = 10 * kSec;
+  /// Telemetry (metrics registry + decision-event ring + policy profiling).
+  /// Strictly write-only for the simulation: enabling it cannot change any
+  /// RunResult byte (determinism_check claim 6).
+  obs::Params obs;
 };
 
 /// Per-node driver state (mechanism-side; policy state stays in schedulers).
@@ -183,6 +189,11 @@ class SimulationDriver {
   [[nodiscard]] const monitor::ClusterMonitor& cluster_monitor() const { return monitor_; }
   [[nodiscard]] stats::QosTracker& qos() { return qos_; }
   [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
+  /// Telemetry collector; nullptr when DriverParams::obs.enabled is false.
+  /// Subsystems and schedulers may record through it but must never read
+  /// recorded values back into decisions (zero-perturbation contract).
+  [[nodiscard]] obs::Collector* observer() { return obs_.get(); }
+  [[nodiscard]] const obs::Collector* observer() const { return obs_.get(); }
 
   [[nodiscard]] ActiveRequest* find_request(RequestId id);
   /// Unfinished requests in arrival order.
@@ -282,6 +293,10 @@ class SimulationDriver {
   /// capacity conservation across place/heal/release (no double-booked and
   /// no leaked reservations). No-op unless vmlp::audit::enabled().
   void audit_machine_conservation(MachineId machine) const;
+  /// Copy the mechanism counters (driver, failure, engine-executed) into the
+  /// telemetry registry at end of run — zero per-event cost for values the
+  /// driver already tracks. No-op when telemetry is off.
+  void sync_observability(const RunResult& result);
   [[nodiscard]] double instance_rate(const app::MicroserviceType& type, const DriverNode& dn,
                                      const cluster::ResourceVector& effective) const;
 
@@ -333,6 +348,9 @@ class SimulationDriver {
   /// callback chains from double-counting the nested interval.
   std::int64_t policy_ns_ = 0;
   int policy_depth_ = 0;
+  /// Host-clock origin for policy-profiling slices (set when run() starts).
+  std::chrono::steady_clock::time_point policy_epoch_;
+  std::unique_ptr<obs::Collector> obs_;  ///< null when telemetry is off
   bool ran_ = false;
 };
 

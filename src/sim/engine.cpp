@@ -4,6 +4,7 @@
 
 #include "common/audit.h"
 #include "common/error.h"
+#include "obs/collector.h"
 
 namespace vmlp::sim {
 
@@ -87,6 +88,21 @@ void Engine::heap_remove(std::uint32_t slot) {
   pool_[slot].heap_pos = kNoHeapPos;
 }
 
+void Engine::set_observer(obs::Collector* obs) {
+  obs_ = obs;
+  obs_ring_ = obs != nullptr && obs->ring_engine_events();
+}
+
+void Engine::flush_observability() {
+  if (obs_ == nullptr) return;
+  const auto& handles = obs_->engine();
+  obs_->set_counter(handles.events_scheduled, obs_scheduled_);
+  obs_->set_counter(handles.events_cancelled, obs_cancelled_);
+  obs_->set_counter(handles.events_rescheduled, obs_rescheduled_);
+  obs_->set_counter(handles.events_executed, executed_);
+  obs_->gauge_max(handles.pending_peak, static_cast<double>(obs_pending_peak_));
+}
+
 EventHandle Engine::schedule_at(SimTime t, Callback fn) {
   VMLP_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
   VMLP_CHECK_MSG(static_cast<bool>(fn), "null event callback");
@@ -101,6 +117,10 @@ EventHandle Engine::schedule_at(SimTime t, Callback fn) {
   e.id = pack_id(next_generation_++, slot);
   e.fn = std::move(fn);
   heap_insert(slot);
+  if (obs_ != nullptr) {
+    ++obs_scheduled_;
+    if (heap_.size() > obs_pending_peak_) obs_pending_peak_ = heap_.size();
+  }
   return EventHandle{e.id};
 }
 
@@ -147,6 +167,7 @@ bool Engine::cancel(EventHandle handle) {
   const std::uint32_t slot = slot_of(handle.id);
   heap_remove(slot);
   release_slot(slot);
+  if (obs_ != nullptr) ++obs_cancelled_;
   return true;
 }
 
@@ -162,6 +183,7 @@ bool Engine::reschedule(EventHandle handle, SimTime t) {
   VMLP_AUDIT_ASSERT(t < kTimeInfinity, "event rescheduled to infinity (unresolved plan time)");
   const std::uint32_t slot = slot_of(handle.id);
   Event& e = pool_[slot];
+  const SimTime prev = e.time;
   e.time = t;
   // Fresh sequence number: the rescheduled event fires after events already
   // queued at the same timestamp, matching cancel+schedule_at semantics.
@@ -169,6 +191,13 @@ bool Engine::reschedule(EventHandle handle, SimTime t) {
   // The key can move either direction (earlier or later time).
   sift_up(e.heap_pos);
   sift_down(pool_[slot].heap_pos);
+  if (obs_ != nullptr) {
+    ++obs_rescheduled_;
+    if (obs_ring_) {
+      obs_->event(obs::DecisionKind::kEngineReschedule, now_, obs::DecisionEvent::kNoRequest,
+                  obs::DecisionEvent::kNoIndex, obs::DecisionEvent::kNoIndex, t - prev);
+    }
+  }
   return true;
 }
 

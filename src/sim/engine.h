@@ -29,6 +29,10 @@
 #include "common/inline_function.h"
 #include "common/types.h"
 
+namespace vmlp::obs {
+class Collector;
+}
+
 namespace vmlp::sim {
 
 /// Opaque handle to a scheduled event; value 0 is "no event".
@@ -85,6 +89,17 @@ class Engine {
   [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Attach (or detach with nullptr) a telemetry collector. Recording is
+  /// strictly write-only — the engine never reads it back — so attaching one
+  /// cannot change event order (the zero-perturbation contract).
+  void set_observer(obs::Collector* obs);
+  /// Publish the accumulated engine tallies into the collector's registry.
+  /// The hot paths only bump plain members (schedule/cancel/reschedule run
+  /// ~once per executed event — registry indirections there cost real
+  /// throughput, see the bench obs.* family); the driver calls this once at
+  /// end of run. Idempotent: tallies are written as absolute values.
+  void flush_observability();
+
  private:
   static constexpr std::uint32_t kNoHeapPos = 0xffffffffu;
   /// Tag bit distinguishing periodic-series handles from event handles.
@@ -138,6 +153,14 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_series_ = 0;
   std::uint64_t executed_ = 0;
+  obs::Collector* obs_ = nullptr;           ///< optional telemetry sink (write-only)
+  bool obs_ring_ = false;                   ///< cached Params::ring_engine_events
+  // Telemetry tallies, flushed by flush_observability(); only tracked while
+  // an observer is attached.
+  std::uint64_t obs_scheduled_ = 0;
+  std::uint64_t obs_cancelled_ = 0;
+  std::uint64_t obs_rescheduled_ = 0;
+  std::size_t obs_pending_peak_ = 0;
   std::vector<Event> pool_;                 ///< slot-indexed event storage
   std::vector<std::uint32_t> free_slots_;   ///< reusable pool slots
   std::vector<std::uint32_t> heap_;         ///< binary min-heap of slot indices

@@ -1,38 +1,46 @@
 #include "trace/export.h"
 
-#include <cstdio>
 #include <fstream>
 #include <ostream>
 
 #include "common/error.h"
+#include "common/json.h"
 
 namespace vmlp::trace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+std::string json_escape(const std::string& s) { return vmlp::json_escape(s); }
+
+namespace {
+
+/// The span this one should point at as its Zipkin parent: among the
+/// request's recorded spans, the DAG parent that finished last (the edge the
+/// start actually waited on); ties break to the lower node index. Null for
+/// roots, spans without a node index, or parents not (yet) recorded.
+const Span* parent_span(const Tracer& tracer, const app::Application& application,
+                        const Span& span) {
+  if (span.node == Span::kNoNode) return nullptr;
+  const auto& dag = application.request(span.request_type).dag();
+  if (span.node >= dag.node_count()) return nullptr;
+  const auto& parents = dag.parents(span.node);
+  if (parents.empty()) return nullptr;
+  const Span* best = nullptr;
+  for (const Span* candidate : tracer.spans_of(span.request)) {
+    if (candidate->node == Span::kNoNode) continue;
+    bool is_parent = false;
+    for (std::size_t p : parents) is_parent = is_parent || candidate->node == p;
+    if (!is_parent) continue;
+    if (best == nullptr || candidate->end > best->end ||
+        (candidate->end == best->end && candidate->node < best->node)) {
+      best = candidate;
     }
   }
-  return out;
+  return best;
 }
 
+}  // namespace
+
 void export_spans_json(const Tracer& tracer, const app::Application& application,
-                       std::ostream& out) {
+                       std::ostream& out, const SpanExportOptions& options) {
   out << "[";
   bool first = true;
   for (const auto& span : tracer.spans()) {
@@ -41,24 +49,31 @@ void export_spans_json(const Tracer& tracer, const app::Application& application
     const auto& svc = application.service(span.service);
     const auto& req = application.request(span.request_type);
     out << "\n  {\"traceId\":\"" << span.request.value() << "\""
-        << ",\"id\":\"" << span.instance.value() << "\""
-        << ",\"name\":\"" << json_escape(svc.name) << "\""
+        << ",\"id\":\"" << span.instance.value() << "\"";
+    if (const Span* parent = parent_span(tracer, application, span); parent != nullptr) {
+      out << ",\"parentId\":\"" << parent->instance.value() << "\"";
+    }
+    out << ",\"name\":\"" << json_escape(svc.name) << "\""
         << ",\"kind\":\"SERVER\""
         << ",\"timestamp\":" << span.start << ",\"duration\":" << span.duration()
         << ",\"localEndpoint\":{\"serviceName\":\"" << json_escape(svc.name)
         << "\",\"ipv4\":\"10.0." << span.machine.value() / 256 << "."
         << span.machine.value() % 256 << "\"}"
         << ",\"tags\":{\"requestType\":\"" << json_escape(req.name()) << "\",\"machine\":\""
-        << span.machine.value() << "\"}}";
+        << span.machine.value() << "\"";
+    if (options.machines_per_rack > 0) {
+      out << ",\"rack\":\"" << span.machine.value() / options.machines_per_rack << "\"";
+    }
+    out << "}}";
   }
   out << "\n]\n";
 }
 
 void export_spans_json_file(const Tracer& tracer, const app::Application& application,
-                            const std::string& path) {
+                            const std::string& path, const SpanExportOptions& options) {
   std::ofstream out(path);
   if (!out) throw ConfigError("cannot open for writing: " + path);
-  export_spans_json(tracer, application, out);
+  export_spans_json(tracer, application, out, options);
   if (!out) throw ConfigError("write failed: " + path);
 }
 

@@ -15,15 +15,27 @@
 
 namespace vmlp::trace {
 
+/// Knobs for the Zipkin span export that the tracer itself cannot know.
+struct SpanExportOptions {
+  /// Rack width of the simulated topology. When positive, each span gets a
+  /// `rack` tag (machine / machines_per_rack) next to its `machine` tag so
+  /// trace tooling can group lanes the way the cluster is cabled.
+  std::size_t machines_per_rack = 0;
+};
+
 /// Write all spans as a Zipkin v2 JSON array:
-/// [{"traceId","id","name","timestamp","duration","localEndpoint":{...}}...].
-/// Timestamps are simulated microseconds.
+/// [{"traceId","id","parentId","name","timestamp","duration",
+///   "localEndpoint":{...},"tags":{...}}...].
+/// Timestamps are simulated microseconds. `parentId` links each span to the
+/// latest-finishing DAG parent recorded for the same request (ties break to
+/// the lower node index), so Zipkin/Jaeger render the request as a proper
+/// tree; root spans and spans recorded without a node index omit it.
 void export_spans_json(const Tracer& tracer, const app::Application& application,
-                       std::ostream& out);
+                       std::ostream& out, const SpanExportOptions& options = {});
 
 /// Convenience: export to a file. Throws ConfigError on IO failure.
 void export_spans_json_file(const Tracer& tracer, const app::Application& application,
-                            const std::string& path);
+                            const std::string& path, const SpanExportOptions& options = {});
 
 /// Write completed requests as CSV:
 /// request_id,type,arrival_us,completion_us,latency_us.

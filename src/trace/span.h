@@ -2,11 +2,18 @@
 // (the Zipkin/Jaeger analogue).
 #pragma once
 
+#include <cstdint>
+
 #include "common/types.h"
 
 namespace vmlp::trace {
 
 struct Span {
+  /// "DAG position unknown" — spans recorded by code paths that do not know
+  /// the node index (e.g. synthetic test spans) keep this sentinel and export
+  /// without a parent link.
+  static constexpr std::uint32_t kNoNode = static_cast<std::uint32_t>(-1);
+
   RequestId request;
   RequestTypeId request_type;
   ServiceTypeId service;
@@ -14,6 +21,9 @@ struct Span {
   MachineId machine;
   SimTime start = 0;
   SimTime end = 0;
+  /// Index of this invocation's node in the request DAG (last member so the
+  /// existing positional aggregate initializers stay valid).
+  std::uint32_t node = kNoNode;
 
   [[nodiscard]] SimDuration duration() const { return end - start; }
 };

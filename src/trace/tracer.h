@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
 #include "common/types.h"
 #include "trace/span.h"
 
@@ -19,7 +20,13 @@ struct RequestRecord {
   std::optional<SimTime> completion;
 
   [[nodiscard]] bool finished() const { return completion.has_value(); }
-  [[nodiscard]] SimDuration latency() const { return *completion - arrival; }
+  /// End-to-end latency. Only meaningful for finished requests — calling it
+  /// on an in-flight record used to dereference an empty optional (UB);
+  /// callers must check finished() first.
+  [[nodiscard]] SimDuration latency() const {
+    VMLP_CHECK_MSG(finished(), "latency() on unfinished request " << id.value());
+    return *completion - arrival;
+  }
 };
 
 class Tracer {

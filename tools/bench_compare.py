@@ -6,6 +6,9 @@ Compares a freshly produced BENCH_core.json against bench/baseline.json:
   * gated metrics (engine events/sec and sched placements/sec): FAIL when
     the new value is more than --fail-threshold (default 25%) below the
     baseline.
+  * floored metrics (the obs.* overhead ratios): FAIL when the value drops
+    below its absolute floor (0.95 — telemetry collection may cost at most
+    5% of uninstrumented throughput), independent of the baseline.
   * every other shared metric: WARN when it is more than --warn-threshold
     (default 25%) worse, in its natural direction (wall_ms lower-is-better,
     throughput/speedup higher-is-better). Warnings never fail the job —
@@ -33,6 +36,14 @@ from pathlib import Path
 # Note sched.reference_placements_per_sec deliberately does NOT contain the
 # gated key: the legacy-ledger reference is informational, not enforced.
 GATED = ("events_per_sec", "sched.placements_per_sec")
+
+# Absolute floors, enforced on the new run regardless of the baseline: the
+# telemetry layer's zero-perturbation guarantee budgets collection at <= 5%
+# of uninstrumented throughput (see DESIGN.md, observability architecture).
+FLOORS = {
+    "obs.engine_events_per_sec_ratio": 0.95,
+    "obs.scenario_wall_ratio": 0.95,
+}
 
 # Key suffixes where lower is better; everything else is higher-is-better.
 LOWER_IS_BETTER = ("wall_ms",)
@@ -78,6 +89,12 @@ def main() -> int:
     warnings = 0
     width = max(len(k) for k in sorted(set(base) | set(new)))
     for key in sorted(set(base) | set(new)):
+        if key in new and key in FLOORS and new[key] < FLOORS[key]:
+            # Floors bind even for metrics absent from the baseline.
+            print(f"  {key:<{width}}  new={new[key]:<14.6g} below floor "
+                  f"{FLOORS[key]:g}  FAIL")
+            failures += 1
+            continue
         if key not in base or key not in new:
             print(f"  {key:<{width}}  (only in {'new' if key in new else 'baseline'}; skipped)")
             continue

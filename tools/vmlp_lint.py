@@ -25,6 +25,14 @@ Enforces repo rules no generic tool knows about:
                      comment (same line or the line above). Applies to the
                      concurrency-sensitive modules (common/, monitor/, sim/).
 
+  [metric-name]      Telemetry metric names registered via
+                     add_counter/add_gauge/add_histogram must follow the
+                     `subsystem.noun_verb` style (>= 2 dot-separated lowercase
+                     components, [a-z][a-z0-9_]*) and each name must be
+                     registered exactly once across the scanned sources —
+                     the registry enforces both at runtime, this catches them
+                     before a run does.
+
 Usage:
   tools/vmlp_lint.py [--root DIR] [files...]
 With no file arguments, scans src/ and tools/*.cpp under the root.
@@ -268,10 +276,53 @@ def check_mutex_guard_doc(
 
 
 # --------------------------------------------------------------------------
+# rule: metric-name
+
+METRIC_REG = re.compile(r"\badd_(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_STYLE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
+
+
+def check_metric_names(
+    path: Path, raw: str, findings: list[Finding], registry: dict[str, tuple[Path, int]]
+) -> None:
+    # Scan the raw text (string literals are blanked in the clean view) so the
+    # registered names themselves are visible; registration calls keep the
+    # name literal on the add_* line by convention.
+    for m in METRIC_REG.finditer(raw):
+        name = m.group(1)
+        lineno = raw.count("\n", 0, m.start()) + 1
+        if not METRIC_STYLE.match(name):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "metric-name",
+                    f"metric name '{name}' violates the subsystem.noun_verb style "
+                    "(>= 2 dot-separated lowercase [a-z][a-z0-9_]* components)",
+                )
+            )
+            continue
+        if name in registry:
+            prev_path, prev_line = registry[name]
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "metric-name",
+                    f"metric '{name}' already registered at "
+                    f"{prev_path.name}:{prev_line}; every name has exactly one "
+                    "registration site",
+                )
+            )
+        else:
+            registry[name] = (path, lineno)
+
+
+# --------------------------------------------------------------------------
 # driver
 
 
-def lint_file(path: Path) -> list[Finding]:
+def lint_file(path: Path, metric_registry: dict[str, tuple[Path, int]]) -> list[Finding]:
     raw = path.read_text(encoding="utf-8")
     raw_lines = raw.split("\n")
     clean = strip_comments_and_strings(raw)
@@ -281,6 +332,7 @@ def lint_file(path: Path) -> list[Finding]:
     check_unordered_iteration(path, raw_lines, clean_lines, findings)
     check_relative_include(path, raw_lines, findings)
     check_mutex_guard_doc(path, raw_lines, clean, findings)
+    check_metric_names(path, raw, findings, metric_registry)
     return findings
 
 
@@ -306,11 +358,12 @@ def main(argv: list[str]) -> int:
         return 2
 
     all_findings: list[Finding] = []
+    metric_registry: dict[str, tuple[Path, int]] = {}
     for path in targets:
         if not path.is_file():
             print(f"vmlp_lint: no such file: {path}", file=sys.stderr)
             return 2
-        all_findings.extend(lint_file(path))
+        all_findings.extend(lint_file(path, metric_registry))
 
     for f in all_findings:
         try:
