@@ -9,8 +9,8 @@ namespace {
 
 enum class State : int { kUnset = -1, kOff = 0, kOn = 1 };
 
-// guarded by: atomic (single word, relaxed ordering is sufficient — the flag
-// is a hint read at check sites, not a synchronization point).
+// not guarded: atomic single word; relaxed ordering is sufficient — the flag
+// is a hint read at check sites, not a synchronization point.
 std::atomic<int> g_state{static_cast<int>(State::kUnset)};
 
 bool default_enabled() noexcept {

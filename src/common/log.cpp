@@ -20,13 +20,13 @@ const char* log_level_name(LogLevel level) {
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
   out << "[" << log_level_name(level) << "] " << message << '\n';
 }
 
 void Logger::set_sink(std::ostream* sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sink_ = sink;
 }
 

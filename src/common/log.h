@@ -4,9 +4,10 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/mutex.h"
 
 namespace vmlp {
 
@@ -33,8 +34,8 @@ class Logger {
   // not guarded: racy-read by design — enabled() polls it lock-free on hot
   // paths; set_level is a test/startup-time operation.
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  std::ostream* sink_ = nullptr;  // guarded by mutex_
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::ostream* sink_ VMLP_GUARDED_BY(mutex_) = nullptr;
 };
 
 const char* log_level_name(LogLevel level);

@@ -1,0 +1,72 @@
+// Annotated synchronization primitives.
+//
+// vmlp::Mutex is std::mutex carrying the clang `capability` attribute, which
+// is what lets `VMLP_GUARDED_BY(mu_)` member declarations be *checked* by
+// -Wthread-safety instead of trusted as comments. All concurrent code in the
+// simulator (the sweep-level thread pool and the logger — the per-run
+// simulation core is single-threaded by design) locks through these types;
+// raw std::mutex members are rejected by tools/vmlp_lint.py [raw-mutex].
+//
+// CondVar wraps std::condition_variable_any so it can wait directly on a
+// Mutex (BasicLockable). The predicate-wait annotation is VMLP_REQUIRES: the
+// analysis does not model the internal unlock/relock window, which is the
+// conservative direction — guarded state touched by the predicate is checked
+// as if the lock were held throughout, and it is held whenever the predicate
+// actually runs.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace vmlp {
+
+class VMLP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VMLP_ACQUIRE() { mu_.lock(); }
+  void unlock() VMLP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() VMLP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock scope (the std::lock_guard analogue the analysis understands).
+class VMLP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VMLP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VMLP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting directly on a vmlp::Mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One wait round; `mu` must be held on entry and is held on return. Wakes
+  /// can be spurious — call from a `while (!condition) cv.wait(mu);` loop,
+  /// which also keeps the guarded condition reads inside the analyzed lock
+  /// scope (no lambda-annotation escape hatch needed).
+  void wait(Mutex& mu) VMLP_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace vmlp

@@ -1,0 +1,75 @@
+// Clang thread-safety-analysis attribute wrappers.
+//
+// Locking discipline in this codebase is compiler-checked, not prose: a
+// member protected by a mutex is declared `VMLP_GUARDED_BY(mu_)` and every
+// access outside a lock scope is a -Wthread-safety error under the
+// `thread-safety` CMake preset (clang, -Werror=thread-safety). Under GCC —
+// which has no thread-safety analysis — every macro expands to nothing, so
+// the annotations are zero-cost documentation there.
+//
+// The macro set mirrors the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the subset
+// the codebase uses is defined, but the full vocabulary is kept so new
+// concurrent code never needs to invent names. Apply the attributes to
+// vmlp::Mutex / vmlp::MutexLock (common/mutex.h) — raw std::mutex members
+// are rejected by tools/vmlp_lint.py's [raw-mutex] rule precisely because
+// the analysis cannot see through an unannotated capability type.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VMLP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VMLP_THREAD_ANNOTATION
+#define VMLP_THREAD_ANNOTATION(x)  // no-op: GCC / pre-TSA clang
+#endif
+
+/// Marks a type as a capability (lockable). The string names the capability
+/// kind in diagnostics ("mutex", "role", ...).
+#define VMLP_CAPABILITY(x) VMLP_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define VMLP_SCOPED_CAPABILITY VMLP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define VMLP_GUARDED_BY(x) VMLP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself is
+/// not).
+#define VMLP_PT_GUARDED_BY(x) VMLP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering edges (deadlock detection).
+#define VMLP_ACQUIRED_BEFORE(...) VMLP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define VMLP_ACQUIRED_AFTER(...) VMLP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held on entry (and does not release it).
+#define VMLP_REQUIRES(...) VMLP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VMLP_REQUIRES_SHARED(...) \
+  VMLP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry).
+#define VMLP_ACQUIRE(...) VMLP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VMLP_ACQUIRE_SHARED(...) VMLP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define VMLP_RELEASE(...) VMLP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VMLP_RELEASE_SHARED(...) VMLP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define VMLP_RELEASE_GENERIC(...) VMLP_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define VMLP_TRY_ACQUIRE(...) VMLP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define VMLP_TRY_ACQUIRE_SHARED(...) \
+  VMLP_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (non-reentrancy).
+#define VMLP_EXCLUDES(...) VMLP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread already holds the capability.
+#define VMLP_ASSERT_CAPABILITY(x) VMLP_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define VMLP_RETURN_CAPABILITY(x) VMLP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch; every use needs a comment explaining why analysis is wrong.
+#define VMLP_NO_THREAD_SAFETY_ANALYSIS VMLP_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
     queue_.push_back(std::move(task));
   }
@@ -39,12 +39,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+      // Drain semantics: a stopping pool still runs every queued task; exit
+      // only once the queue is empty.
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -63,10 +62,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // pointer to it plus an index pair, staying within Task's inline buffer —
   // no futures, no shared_ptr control blocks, no per-chunk allocation.
   struct BatchState {
-    std::mutex m;
-    std::condition_variable done_cv;
-    std::size_t remaining = 0;
-    std::exception_ptr first_error;  // guarded by m
+    Mutex m;
+    CondVar done_cv;
+    std::size_t remaining VMLP_GUARDED_BY(m) = 0;
+    std::exception_ptr first_error VMLP_GUARDED_BY(m);
   };
   BatchState state;
 
@@ -76,7 +75,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     if (lo >= end) break;
     ++launched;
   }
-  state.remaining = launched;
+  {
+    MutexLock lock(state.m);
+    state.remaining = launched;
+  }
 
   for (std::size_t c = 0; c < launched; ++c) {
     const std::size_t lo = begin + c * chunk_size;
@@ -92,16 +94,20 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       // reaches 0 with the mutex released, the caller may wake (even
       // spuriously), return, and destroy `state` — so the notify must not
       // touch `state` after that point.
-      std::lock_guard<std::mutex> lock(state.m);
+      MutexLock lock(state.m);
       if (error && !state.first_error) state.first_error = error;
       --state.remaining;
       if (state.remaining == 0) state.done_cv.notify_one();
     }));
   }
 
-  std::unique_lock<std::mutex> lock(state.m);
-  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
-  if (state.first_error) std::rethrow_exception(state.first_error);
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(state.m);
+    while (state.remaining != 0) state.done_cv.wait(state.m);
+    first_error = state.first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace vmlp

@@ -11,16 +11,15 @@
 // future; its packaged_task shared state is the only allocation on that path.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/inline_function.h"
+#include "common/mutex.h"
 
 namespace vmlp {
 
@@ -61,10 +60,10 @@ class ThreadPool {
   // not guarded: written once in the constructor, joined in the destructor;
   // never touched by worker threads.
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;  // guarded by mutex_
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;  // guarded by mutex_
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<Task> queue_ VMLP_GUARDED_BY(mutex_);
+  bool stopping_ VMLP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vmlp

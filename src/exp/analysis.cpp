@@ -15,7 +15,8 @@ double TypeBreakdown::handoff_share() const {
 std::string TypeBreakdown::dominant_service(const app::Application& application) const {
   std::size_t best_node = 0;
   std::size_t best_count = 0;
-  // lint: unordered-ok (order-independent: selects max count, min node on ties)
+  // Order-independent: selects max count, min node on ties — no float
+  // accumulation, event scheduling, or export leaves this loop.
   for (const auto& [node, count] : dominant_counts) {
     if (count > best_count || (count == best_count && node < best_node)) {
       best_node = node;

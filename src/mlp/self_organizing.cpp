@@ -40,7 +40,7 @@ void audit_plan_integrity(const sched::ActiveRequest& ar, const std::vector<Node
   }
 }
 
-SelfOrganizing::SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng rng)
+SelfOrganizing::SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng&& rng)
     : iface_(&iface), params_(params), rng_(rng) {}
 
 void SelfOrganizing::Overlay::add(MachineId m, SimTime t0, SimTime t1,

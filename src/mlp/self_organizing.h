@@ -44,7 +44,8 @@ void audit_plan_integrity(const sched::ActiveRequest& ar, const std::vector<Node
 
 class SelfOrganizing {
  public:
-  SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng rng);
+  /// Rng is a sink parameter (pass an rvalue substream); see CommModel.
+  SelfOrganizing(InterfaceLayer& iface, const VmlpParams& params, Rng&& rng);
 
   /// Plan and commit every unplaced node of the request. True = fully
   /// assigned (Algorithm 1's "totally assigned").

@@ -15,7 +15,7 @@ int comm_class_from_variance(double var_rtt_units) {
   return 3;
 }
 
-CommModel::CommModel(const Topology& topology, CommModelParams params, Rng rng)
+CommModel::CommModel(const Topology& topology, CommModelParams params, Rng&& rng)
     : topology_(topology), params_(params), rng_(rng) {
   VMLP_CHECK(params_.same_machine_mean_us > 0 && params_.same_rack_mean_us > 0 &&
              params_.cross_rack_mean_us > 0);

@@ -33,7 +33,11 @@ int comm_class_from_variance(double var_rtt_units);
 
 class CommModel {
  public:
-  CommModel(const Topology& topology, CommModelParams params, Rng rng);
+  /// The Rng is a sink parameter: pass an rvalue substream (e.g.
+  /// `parent.fork("comm")`). Taking Rng&& makes silently copying a live
+  /// stream — substream duplication that breaks seed-purity — a compile
+  /// error (vmlp_analyze [rng-by-value] checks the same property).
+  CommModel(const Topology& topology, CommModelParams params, Rng&& rng);
 
   /// Sample the one-way caller→callee delay between two placements.
   SimDuration sample_delay(MachineId src, MachineId dst);

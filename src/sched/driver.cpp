@@ -181,8 +181,14 @@ void SimulationDriver::audit_machine_conservation(MachineId machine) const {
   };
   std::vector<Window> windows;
   std::vector<SimTime> probes{now};
-  // lint: unordered-ok (audit-only sum; comparison tolerance absorbs FP order)
-  for (const auto& [rid, ar] : requests_) {
+  // Walk requests in id order so the float sum below accumulates in a
+  // deterministic order (audit runs must not depend on hash-table history).
+  std::vector<RequestId> ids;
+  ids.reserve(requests_.size());
+  for (const auto& entry : requests_) ids.push_back(entry.first);
+  std::sort(ids.begin(), ids.end());
+  for (const RequestId rid : ids) {
+    const ActiveRequest* ar = requests_.at(rid).get();
     for (const DriverNode& dn : ar->nodes) {
       if (!dn.has_reservation || !(dn.machine == machine)) continue;
       const SimTime lo = std::max(dn.reserved_begin, now);
@@ -855,6 +861,8 @@ void SimulationDriver::invocation_timeout(RequestId id, std::size_t node) {
 RunResult SimulationDriver::run() {
   VMLP_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
+  // analyze: allow(host-clock): epoch for obs policy-profiling slices only;
+  // host time never feeds a simulation decision (zero-perturbation contract).
   policy_epoch_ = std::chrono::steady_clock::now();
   if (obs_ != nullptr) {
     obs_->set_gauge(obs_->failure().windows_planned,

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Golden test for tools/vmlp_analyze.py.
+
+Runs the analyzer over the fixture TUs under tests/analyze_fixtures/src/
+(each exercises one rule; clean.cpp holds the near-misses) against an empty
+baseline and compares path:line:rule of every reported finding with
+expected.txt.
+
+Exit: 0 findings match the golden file, 1 mismatch or analyzer failure,
+77 --require-libclang and libclang unavailable (ctest SKIP_RETURN_CODE).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+ROOT = HERE.parent.parent
+FINDING = re.compile(r"^(\S+?):(\d+): \[([\w-]+)\]")
+
+
+def load_expected() -> set[str]:
+    expected = set()
+    for line in (HERE / "expected.txt").read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            expected.add(line)
+    return expected
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frontend", default="internal",
+                        choices=("internal", "libclang", "auto"))
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="skip (exit 77) instead of falling back when "
+                             "libclang is missing")
+    parser.add_argument("--print-actual", action="store_true",
+                        help="print the actual findings in expected.txt form "
+                             "(for regenerating the golden file)")
+    args = parser.parse_args(argv)
+
+    fixtures = sorted((HERE / "src").rglob("*.cpp"))
+    if not fixtures:
+        print("run_fixtures: no fixture TUs found", file=sys.stderr)
+        return 1
+
+    with tempfile.NamedTemporaryFile("w", suffix=".txt") as empty_baseline:
+        cmd = [sys.executable, str(ROOT / "tools" / "vmlp_analyze.py"),
+               "--root", str(ROOT), "--baseline", empty_baseline.name,
+               "--frontend", args.frontend]
+        if args.require_libclang:
+            cmd.append("--require-libclang")
+        cmd += [str(f) for f in fixtures]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+
+    if proc.returncode == 77:
+        print("run_fixtures: libclang unavailable; skipping")
+        return 77
+    if proc.returncode not in (0, 1):
+        print(f"run_fixtures: analyzer failed (exit {proc.returncode})",
+              file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        return 1
+
+    actual = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING.match(line)
+        if m:
+            actual.add(f"{m.group(1)}:{m.group(2)}: {m.group(3)}")
+
+    if args.print_actual:
+        for entry in sorted(actual):
+            print(entry)
+        return 0
+
+    expected = load_expected()
+    missing = sorted(expected - actual)
+    unexpected = sorted(actual - expected)
+    for entry in missing:
+        print(f"run_fixtures: MISSING (expected, not reported): {entry}")
+    for entry in unexpected:
+        print(f"run_fixtures: UNEXPECTED (reported, not expected): {entry}")
+    if missing or unexpected:
+        print(f"run_fixtures: FAIL ({len(missing)} missing, "
+              f"{len(unexpected)} unexpected) [frontend={args.frontend}]",
+              file=sys.stderr)
+        return 1
+    print(f"run_fixtures: OK — {len(actual)} findings match expected.txt "
+          f"across {len(fixtures)} fixture TUs [frontend={args.frontend}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,31 @@
+// [obs-readback] fixture: a collector state read from core code (violation)
+// next to the write path and a same-named method on a non-collector type,
+// both of which must stay silent.
+
+namespace vmlp::obs {
+class Collector {
+ public:
+  unsigned long long counter_value(int id) const;
+  void record_event(int kind, unsigned long long value);
+};
+}  // namespace vmlp::obs
+
+namespace vmlp::cluster {
+
+unsigned long long admitted_total(const obs::Collector* obs) {
+  return obs->counter_value(3);  // VIOLATION: core code reads telemetry back
+}
+
+void note_admit(obs::Collector* obs) {
+  if (obs != nullptr) obs->record_event(1, 1);  // write path: fine
+}
+
+struct Snapshotter {
+  unsigned long long counter_value(int id) const { return id > 0 ? 1u : 0u; }
+};
+
+unsigned long long near_miss(const Snapshotter& snap) {
+  return snap.counter_value(3);  // not a collector: fine
+}
+
+}  // namespace vmlp::cluster

@@ -1,0 +1,48 @@
+// [unordered-escape] fixture: unordered iteration whose order escapes into
+// float accumulation, event scheduling, and an export sink (one violation
+// each); a loop whose result is order-independent must stay silent.
+#include <ostream>
+#include <unordered_map>
+
+namespace vmlp::mlp {
+
+struct FakeEngine {
+  void schedule_at(long long when, int what);
+};
+
+class PlacementStats {
+ public:
+  double weighted_total() const {
+    double total = 0.0;
+    for (const auto& entry : weights_) {  // VIOLATION: float accumulation
+      total += entry.second;
+    }
+    return total;
+  }
+
+  void reschedule_all(FakeEngine& engine) {
+    for (const auto& entry : deadlines_) {  // VIOLATION: event scheduling
+      engine.schedule_at(entry.second, entry.first);
+    }
+  }
+
+  void dump(std::ostream& os) const {
+    for (const auto& entry : weights_) {  // VIOLATION: export sink
+      os << entry.first;
+    }
+  }
+
+  int cardinality() const {
+    int n = 0;
+    for (const auto& entry : weights_) {  // order stays local: fine
+      n += 1;
+    }
+    return n;
+  }
+
+ private:
+  std::unordered_map<int, double> weights_;
+  std::unordered_map<int, long long> deadlines_;
+};
+
+}  // namespace vmlp::mlp

@@ -1,0 +1,49 @@
+// [engine-lock] fixture (callback variant): outside src/sim/ a lock is only
+// a violation inside a lambda handed to an engine schedule_* call — those
+// callbacks run on the single simulation thread. The same lock in an
+// ordinary lambda is trial-level code and must stay silent.
+
+namespace vmlp {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+namespace sim {
+class Engine {
+ public:
+  template <typename F>
+  void schedule_at(long long when, F&& fn);
+};
+}  // namespace sim
+
+namespace sched {
+
+class Rebalancer {
+ public:
+  void arm(sim::Engine& engine) {
+    engine.schedule_at(100, [this] {
+      shared_mu_.lock();  // VIOLATION: lock inside an engine callback
+      epochs_ += 1;
+      shared_mu_.unlock();
+    });
+  }
+
+  void merge_results() {
+    auto fold = [this] {
+      shared_mu_.lock();  // plain lambda, never scheduled: fine
+      epochs_ += 1;
+      shared_mu_.unlock();
+    };
+    fold();
+  }
+
+ private:
+  Mutex shared_mu_;
+  int epochs_ = 0;
+};
+
+}  // namespace sched
+}  // namespace vmlp

@@ -1,0 +1,46 @@
+// [rng-by-value] fixture: by-value parameter, copy-initialization from a
+// live Rng, and a by-copy lambda capture — each silently duplicates the
+// substream. Rng&& sinks, const Rng& observers, and by-reference captures
+// are the sanctioned forms and must stay silent.
+
+namespace vmlp {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed);
+  double uniform();
+  Rng fork(const char* label);
+};
+
+namespace sched {
+
+double draw_jitter(Rng rng) {  // VIOLATION: by-value parameter
+  return rng.uniform();
+}
+
+double seeded_walk(Rng&& sink) {  // sink form: fine
+  return sink.uniform();
+}
+
+double inspect(const Rng& observer);  // observer form: fine
+
+double duplicate_streams() {
+  Rng base(42);
+  Rng dup = base;  // VIOLATION: copy-init duplicates 'base'
+  return dup.uniform() + base.uniform();
+}
+
+double capture_by_copy() {
+  Rng base(7);
+  auto draw = [base]() mutable { return 0.0; };  // VIOLATION: by-copy capture
+  return draw();
+}
+
+double capture_by_reference() {
+  Rng base(9);
+  auto draw = [&base] { return base.uniform(); };  // fine
+  return draw();
+}
+
+}  // namespace sched
+}  // namespace vmlp

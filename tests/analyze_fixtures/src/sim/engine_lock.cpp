@@ -1,0 +1,28 @@
+// [engine-lock] fixture (sim variant): any lock acquisition inside src/sim/
+// is a violation — the engine is single-threaded by design.
+
+namespace vmlp {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+namespace sim {
+
+class Dispatcher {
+ public:
+  void dispatch() {
+    queue_mu_.lock();  // VIOLATION: lock on the engine hot path
+    pending_ += 1;
+    queue_mu_.unlock();
+  }
+
+ private:
+  Mutex queue_mu_;
+  int pending_ = 0;
+};
+
+}  // namespace sim
+}  // namespace vmlp

@@ -1,0 +1,29 @@
+// [host-clock] fixture: one violating wall-clock read, one whitelisted
+// (inside PolicyScope), one waived by comment. Self-contained so both the
+// internal frontend and libclang can process it without project includes.
+#include <chrono>
+
+namespace vmlp::sim {
+
+// Whitelisted host-profiling scope: clock reads here feed obs policy slices,
+// never a simulation decision.
+class PolicyScope {
+ public:
+  void begin() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+long long stamp_decision() {
+  auto now = std::chrono::steady_clock::now();  // VIOLATION: host-clock
+  return now.time_since_epoch().count();
+}
+
+long long waived_epoch() {
+  // analyze: allow(host-clock): fixture demonstrating the waiver syntax.
+  auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace vmlp::sim

@@ -8,22 +8,29 @@ Enforces repo rules no generic tool knows about:
                      and friends are implementation-defined or non-reproducible
                      and would break single-seed reproducibility.
 
-  [unordered-iter]   Iterating an unordered container member is
-                     insertion-history-dependent; when the loop feeds event
-                     ordering, float accumulation, or exported output it
-                     silently breaks run-to-run byte stability. Iterate a
-                     sorted view, or annotate the loop with
-                     `// lint: unordered-ok (<reason>)` when order provably
-                     cannot escape (e.g. results are re-sorted below).
-
   [relative-include] `#include "../foo.h"` bypasses the include-root layout
                      (src/); spell module-qualified paths ("cluster/foo.h").
 
-  [mutex-guard-doc]  Every data member of a class that owns a std::mutex must
-                     document its locking discipline with a
-                     `// guarded by <mutex>` or `// not guarded: <reason>`
-                     comment (same line or the line above). Applies to the
-                     concurrency-sensitive modules (common/, monitor/, sim/).
+  [raw-mutex]        Raw std::mutex / std::shared_mutex / std::recursive_mutex
+                     / std::condition_variable members are banned in src/
+                     (outside common/mutex.h itself): they cannot carry the
+                     clang thread-safety capability attribute, so nothing
+                     checks their locking discipline. Use vmlp::Mutex /
+                     vmlp::CondVar from common/mutex.h.
+
+  [mutex-guard]      Every data member of a class that owns a vmlp::Mutex
+                     must either carry a VMLP_GUARDED_BY / VMLP_PT_GUARDED_BY
+                     annotation (compiler-checked under -Wthread-safety) or a
+                     `// not guarded: <reason>` note (same line or the
+                     comment block above). Prose `// guarded by` comments are
+                     no longer accepted for guarded members — the annotation
+                     is the same length and the compiler enforces it.
+
+Unordered-container iteration is no longer linted here: the AST-level
+tools/vmlp_analyze.py [unordered-escape] rule supersedes the old regex
+[unordered-iter] check (it flags only loops whose order actually escapes
+into float accumulation, event scheduling, or export sinks, so the
+`lint: unordered-ok` waivers are gone too).
 
   [metric-name]      Telemetry metric names registered via
                      add_counter/add_gauge/add_histogram must follow the
@@ -51,8 +58,8 @@ from pathlib import Path
 
 
 def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line structure
-    (newlines survive so line numbers stay valid)."""
+    """Blank out comments and string/char literals (incl. raw strings),
+    preserving line structure (newlines survive so line numbers stay valid)."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -69,6 +76,21 @@ def strip_comments_and_strings(text: str) -> str:
             chunk = text[i : j + 2]
             out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
             i = j + 2
+        elif c == "R" and nxt == '"' and (i == 0 or not (text[i - 1].isalnum() or text[i - 1] == "_")):
+            # Raw string literal R"delim( ... )delim": an unescaped quote or a
+            # // inside it is literal data, not code — the naive quote scanner
+            # below would desync on it and mis-blank the rest of the file.
+            m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
+            if m:
+                closer = ")" + m.group(1) + '"'
+                j = text.find(closer, i + m.end())
+                j = n if j == -1 else j + len(closer)
+                chunk = text[i:j]
+                out.append('""' + "".join("\n" if ch == "\n" else " " for ch in chunk[2:]))
+                i = j
+            else:
+                out.append(c)
+                i += 1
         elif c in ('"', "'"):
             quote = c
             j = i + 1
@@ -133,55 +155,6 @@ def check_determinism(path: Path, clean_lines: list[str], findings: list[Finding
 
 
 # --------------------------------------------------------------------------
-# rule: unordered-iter
-
-UNORDERED_DECL = re.compile(
-    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)\s*(?:;|=|\{)"
-)
-RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([A-Za-z_][\w.\->]*)\s*\)")
-OK_ANNOTATION = re.compile(r"lint:\s*unordered-ok")
-
-
-def module_sources(path: Path) -> list[Path]:
-    """The header/impl pair forming one module (members live in the .h)."""
-    stem = path.with_suffix("")
-    return [p for p in (stem.with_suffix(".h"), stem.with_suffix(".cpp")) if p.is_file()]
-
-
-def check_unordered_iteration(
-    path: Path, raw_lines: list[str], clean_lines: list[str], findings: list[Finding]
-) -> None:
-    # Collect unordered member/local names declared anywhere in this module.
-    names: set[str] = set()
-    for src in module_sources(path) or [path]:
-        body = strip_comments_and_strings(src.read_text(encoding="utf-8"))
-        for m in UNORDERED_DECL.finditer(body):
-            names.add(m.group(1))
-    if not names:
-        return
-    for lineno, line in enumerate(clean_lines, 1):
-        m = RANGE_FOR.search(line)
-        if not m:
-            continue
-        target = m.group(1).split(".")[-1].split("->")[-1]
-        if target not in names:
-            continue
-        raw = raw_lines[lineno - 1]
-        prev = raw_lines[lineno - 2] if lineno >= 2 else ""
-        if OK_ANNOTATION.search(raw) or OK_ANNOTATION.search(prev):
-            continue
-        findings.append(
-            Finding(
-                path,
-                lineno,
-                "unordered-iter",
-                f"iteration over unordered container '{target}' is insertion-history-"
-                "dependent; sort first or annotate `// lint: unordered-ok (<reason>)`",
-            )
-        )
-
-
-# --------------------------------------------------------------------------
 # rule: relative-include
 
 RELATIVE_INCLUDE = re.compile(r'#\s*include\s+"\.\.?/')
@@ -202,19 +175,44 @@ def check_relative_include(path: Path, raw_lines: list[str], findings: list[Find
 
 
 # --------------------------------------------------------------------------
-# rule: mutex-guard-doc
+# rules: raw-mutex + mutex-guard
 
-GUARD_SCOPE = ("/common/", "/monitor/", "/sim/")
-CLASS_OPEN = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*\{")
-MUTEX_MEMBER = re.compile(r"(?:std\s*::\s*)?(?:mutex|shared_mutex|recursive_mutex)\s+(\w+)\s*;")
+RAW_MUTEX_MEMBER = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|recursive_timed_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?)\s+(\w+)\s*;"
+)
+
+
+def check_raw_mutex(path: Path, clean_lines: list[str], findings: list[Finding]) -> None:
+    rel = path.as_posix()
+    if "/src/" not in rel or rel.endswith("/common/mutex.h"):
+        return  # mutex.h wraps the raw types; everything else goes through it
+    for lineno, line in enumerate(clean_lines, 1):
+        m = RAW_MUTEX_MEMBER.search(line)
+        if m:
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "raw-mutex",
+                    f"raw std::{m.group(1)} member '{m.group(2)}' cannot carry thread-safety "
+                    "annotations; use vmlp::Mutex / vmlp::CondVar (common/mutex.h)",
+                )
+            )
+
+
+GUARD_SCOPE = ("/common/", "/monitor/", "/sim/", "/obs/", "/exp/")
+CLASS_OPEN = re.compile(r"\b(?:class|struct)\s+(?:VMLP_\w+\s*\(\s*\"[^\"]*\"\s*\)\s*)?(\w+)[^;{]*\{")
+MUTEX_MEMBER = re.compile(r"(?:(?:vmlp\s*::\s*)?Mutex|std\s*::\s*mutex)\s+(\w+)\s*;")
 MEMBER_DECL = re.compile(
     r"^\s+(?!return|if|for|while|switch|case|using|typedef|friend|static_assert|public|private|"
     r"protected|template|explicit|virtual|operator|else|do|break|continue|goto|namespace|throw)"
     r"[A-Za-z_][\w:<>,.*&\s()\[\]]*?[\s&*]"
-    r"(\w+_)\s*(?:=[^;]*|\{[^;]*\})?;"
+    r"(\w+_)\s*(?:VMLP_(?:PT_)?GUARDED_BY\s*\([^)]*\)\s*)?(?:=[^;]*|\{[^;]*\})?;"
 )
-GUARD_DOC = re.compile(r"(guarded by\s+\w+|not guarded\s*:)", re.IGNORECASE)
-CV_MEMBER = re.compile(r"condition_variable(_any)?\s+\w+\s*;")
+GUARD_ANNOTATION = re.compile(r"\bVMLP_(?:PT_)?GUARDED_BY\s*\(\s*\w+\s*\)")
+NOT_GUARDED_NOTE = re.compile(r"not guarded\s*:", re.IGNORECASE)
+CV_MEMBER = re.compile(r"\b(?:(?:vmlp\s*::\s*)?CondVar|(?:std\s*::\s*)?condition_variable(?:_any)?)\s+\w+\s*;")
 
 
 def class_bodies(clean_text: str):
@@ -240,11 +238,11 @@ def class_bodies(clean_text: str):
         yield start_line, end_line, lines[start_line - 1 : end_line]
 
 
-def check_mutex_guard_doc(
+def check_mutex_guard(
     path: Path, raw_lines: list[str], clean_text: str, findings: list[Finding]
 ) -> None:
     rel = path.as_posix()
-    if not any(scope in rel for scope in GUARD_SCOPE):
+    if not any(scope in rel for scope in GUARD_SCOPE) or rel.endswith("/common/mutex.h"):
         return
     for start_line, _end, body in class_bodies(clean_text):
         mutexes = [m.group(1) for line in body for m in MUTEX_MEMBER.finditer(line)]
@@ -257,20 +255,26 @@ def check_mutex_guard_doc(
             m = MEMBER_DECL.match(line)
             if not m:
                 continue
+            # Annotation check runs on the raw line: the VMLP_ macro survives
+            # stripping, but checking raw keeps this robust to future macro
+            # arguments containing strings.
+            if GUARD_ANNOTATION.search(raw_lines[lineno - 1]):
+                continue
             doc_block = raw_lines[lineno - 1]
             k = lineno - 2  # walk the contiguous comment block above the member
             while k >= 0 and raw_lines[k].lstrip().startswith("//"):
                 doc_block += "\n" + raw_lines[k]
                 k -= 1
-            if GUARD_DOC.search(doc_block):
+            if NOT_GUARDED_NOTE.search(doc_block):
                 continue
             findings.append(
                 Finding(
                     path,
                     lineno,
-                    "mutex-guard-doc",
-                    f"member '{m.group(1)}' of a mutex-owning class lacks a locking note; "
-                    f"add `// guarded by {mutexes[0]}` or `// not guarded: <reason>`",
+                    "mutex-guard",
+                    f"member '{m.group(1)}' of a mutex-owning class lacks a checked locking "
+                    f"discipline; annotate `VMLP_GUARDED_BY({mutexes[0]})` or note "
+                    "`// not guarded: <reason>`",
                 )
             )
 
@@ -329,9 +333,9 @@ def lint_file(path: Path, metric_registry: dict[str, tuple[Path, int]]) -> list[
     clean_lines = clean.split("\n")
     findings: list[Finding] = []
     check_determinism(path, clean_lines, findings)
-    check_unordered_iteration(path, raw_lines, clean_lines, findings)
     check_relative_include(path, raw_lines, findings)
-    check_mutex_guard_doc(path, raw_lines, clean, findings)
+    check_raw_mutex(path, clean_lines, findings)
+    check_mutex_guard(path, raw_lines, clean, findings)
     check_metric_names(path, raw, findings, metric_registry)
     return findings
 
