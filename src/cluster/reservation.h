@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cluster/resources.h"
+#include "common/arena.h"
 #include "common/types.h"
 
 namespace vmlp::obs {
@@ -190,7 +191,11 @@ class ReservationLedger {
   Backend backend_;
   obs::Collector* obs_ = nullptr;  ///< optional telemetry sink (write-only)
 
-  std::vector<Segment> segs_;  // flat backend storage
+  // Flat-backend storage is arena-backed: ledgers are per-trial objects, and
+  // the segment vector plus the index blocks below are the scheduler's
+  // highest-churn allocations after engine events. Inside a shard's arena
+  // scope their growth is lane-local; outside one they are heap vectors.
+  ArenaVector<Segment> segs_;  // flat backend storage
   // Coarse window-max index over the flat segments, rebuilt lazily on the
   // first query after a mutation — and only from `dirty_from_` onward.
   // Mutations target windows at or after "now" while the profile keeps up to
@@ -198,8 +203,8 @@ class ReservationLedger {
   // stays valid and a rebuild touches only the recent tail. Erase/insert
   // shifts indices only at or after the mutation point, never before it,
   // which is what keeps prefix blocks exact.
-  mutable std::vector<ResourceVector> block_max_;
-  mutable std::vector<ResourceVector> block_min_;
+  mutable ArenaVector<ResourceVector> block_max_;
+  mutable ArenaVector<ResourceVector> block_min_;
   mutable ResourceVector peak_;
   mutable bool index_dirty_ = true;
   /// Lowest segment index whose block may be stale (mutations lower it,

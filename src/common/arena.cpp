@@ -1,0 +1,93 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace vmlp {
+
+namespace {
+thread_local ShardArena* g_current_arena = nullptr;
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+// Aligned offset into a chunk: computed from the chunk's *address*, not the
+// raw offset — new[] only guarantees alignof(max_align_t), so for stricter
+// alignments (CachePadded, 64) an offset-aligned pointer can be misaligned.
+std::size_t aligned_offset(const std::byte* base, std::size_t used, std::size_t align) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(base) + used;
+  return align_up(addr, align) - reinterpret_cast<std::uintptr_t>(base);
+}
+}  // namespace
+
+ShardArena* ShardArena::current() { return g_current_arena; }
+
+ShardArena::Scope::Scope(ShardArena& arena) : prev_(g_current_arena) {
+  g_current_arena = &arena;
+}
+
+ShardArena::Scope::~Scope() { g_current_arena = prev_; }
+
+void* ShardArena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) {
+    bytes = 1;  // keep returned pointers distinct, mirroring operator new
+  }
+  if (active_ < chunks_.size()) {
+    Chunk& chunk = chunks_[active_];
+    const std::size_t offset = aligned_offset(chunk.data.get(), chunk.used, align);
+    if (offset + bytes <= chunk.size) {
+      bytes_in_use_ += (offset - chunk.used) + bytes;  // padding + payload
+      chunk.used = offset + bytes;
+      high_water_ = std::max(high_water_, bytes_in_use_);
+      return chunk.data.get() + offset;
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+void* ShardArena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Advance through retained chunks from a previous generation first.
+  while (active_ + 1 < chunks_.size()) {
+    ++active_;
+    Chunk& chunk = chunks_[active_];
+    const std::size_t offset = aligned_offset(chunk.data.get(), chunk.used, align);
+    if (offset + bytes <= chunk.size) {
+      bytes_in_use_ += (offset - chunk.used) + bytes;
+      chunk.used = offset + bytes;
+      high_water_ = std::max(high_water_, bytes_in_use_);
+      return chunk.data.get() + offset;
+    }
+  }
+  // Need a fresh chunk. Oversized requests get a dedicated chunk without
+  // advancing the doubling schedule; regular requests grow it.
+  std::size_t want = bytes + align;
+  std::size_t size;
+  if (want > next_chunk_bytes_) {
+    size = want;
+  } else {
+    size = next_chunk_bytes_;
+    next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  }
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  active_ = chunks_.size() - 1;
+  Chunk& fresh = chunks_.back();
+  const std::size_t offset = aligned_offset(fresh.data.get(), 0, align);
+  fresh.used = offset + bytes;
+  bytes_in_use_ += fresh.used;
+  high_water_ = std::max(high_water_, bytes_in_use_);
+  return fresh.data.get() + offset;
+}
+
+void ShardArena::reset() {
+  for (Chunk& chunk : chunks_) {
+    chunk.used = 0;
+  }
+  active_ = 0;
+  bytes_in_use_ = 0;
+  ++reset_count_;
+}
+
+}  // namespace vmlp

@@ -1,0 +1,151 @@
+// ShardArena: a chunked monotonic bump allocator for per-shard trial state.
+//
+// A single sharded trial performs ~200k small allocations (events, ledger
+// segments, DAG node vectors, registry arrays). Run eight shards and the
+// global allocator becomes the serialization point: every malloc/free crosses
+// the same size-class freelists and the speedup curve flattens. The arena
+// gives each worker lane its own bump-pointer region: allocation is a pointer
+// add, deallocation is a no-op, and reset() between trials rewinds the
+// high-water chunks without returning them to the OS, so the steady state of
+// a trial sweep touches the global allocator only while the first trial on a
+// lane is warming the arena up.
+//
+// Binding is explicit and scoped: a worker installs its arena with
+// ShardArena::Scope, and ArenaAllocator<T> (the std-allocator adapter) snaps
+// ShardArena::current() at construction. Containers built outside any scope
+// get a null arena and fall back to the heap, so the same types work in
+// tests, tools, and single-threaded paths unchanged.
+//
+// Lifetime rule (enforced by convention + the shard-shared-state analyzer
+// rule, DESIGN.md §12): arena-backed containers must not outlive the trial
+// scope that bound the arena. Everything a trial publishes (RunResult,
+// obs::Snapshot) is a plain-heap copy, so results can safely outlive the
+// arena they were computed in.
+//
+// Thread model: one arena per lane, never shared. current() is thread-local,
+// so concurrent lanes cannot observe each other's binding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace vmlp {
+
+class ShardArena {
+ public:
+  static constexpr std::size_t kInitialChunkBytes = 64u * 1024u;
+  static constexpr std::size_t kMaxChunkBytes = 4u * 1024u * 1024u;
+
+  ShardArena() = default;
+  ~ShardArena() = default;
+
+  ShardArena(const ShardArena&) = delete;
+  ShardArena& operator=(const ShardArena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (power of two). Never returns
+  /// nullptr; grows by doubling chunks, with oversized requests served from a
+  /// dedicated chunk so they don't poison the doubling schedule.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Rewind every chunk to empty, retaining the memory for the next trial.
+  /// All pointers previously returned become invalid.
+  void reset();
+
+  /// Bytes handed out since the last reset (including alignment padding).
+  [[nodiscard]] std::size_t bytes_in_use() const { return bytes_in_use_; }
+  /// Peak bytes_in_use across the arena's whole lifetime.
+  [[nodiscard]] std::size_t high_water_bytes() const { return high_water_; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t reset_count() const { return reset_count_; }
+
+  /// The arena bound to this thread, or nullptr outside any Scope.
+  static ShardArena* current();
+
+  /// RAII binding: installs `arena` as this thread's current() for the
+  /// scope's lifetime, restoring the previous binding (usually null) on exit.
+  class Scope {
+   public:
+    explicit Scope(ShardArena& arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ShardArena* prev_;
+  };
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // index of the chunk currently being bumped
+  std::size_t next_chunk_bytes_ = kInitialChunkBytes;
+  std::size_t bytes_in_use_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t reset_count_ = 0;
+};
+
+/// std-allocator adapter over ShardArena. Captures ShardArena::current() at
+/// construction: inside a Scope the container bump-allocates and frees for
+/// free; outside, it is an ordinary heap allocator. Propagates on container
+/// move/swap so a container moved out of a trial carries its (heap or arena)
+/// allocator with it instead of silently reallocating.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept : arena_(ShardArena::current()) {}
+  explicit ArenaAllocator(ShardArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (arena_ != nullptr) {
+      return;  // monotonic: reclaimed wholesale by reset()
+    }
+    ::operator delete(p, n * sizeof(T));
+  }
+
+  [[nodiscard]] ShardArena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  ShardArena* arena_;
+};
+
+/// Vector whose backing store comes from the thread's bound arena (heap when
+/// none is bound). The alias keeps call sites honest about the lifetime rule.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace vmlp

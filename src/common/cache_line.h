@@ -1,0 +1,36 @@
+// Cache-line geometry and padding for per-shard state.
+//
+// Per-lane accumulators (trial slots, arenas, registries) that sit adjacent
+// in an array false-share: a write on lane 3 invalidates the line holding
+// lane 2's slot and the "parallel" merge path ping-pongs lines between
+// cores. CachePadded<T> aligns and pads each element to its own line so
+// adjacent lanes never share one.
+//
+// The size is a fixed 64 rather than std::hardware_destructive_interference_
+// size: the constant is 64 on every target we build for (x86-64, aarch64
+// L1D), gcc warns on the interference constants being ABI-unstable, and a
+// fixed value keeps struct layouts identical across toolchains.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace vmlp {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T value;
+};
+
+static_assert(sizeof(CachePadded<char>) == kCacheLineSize,
+              "CachePadded must round element size up to a full line");
+static_assert(alignof(CachePadded<char>) == kCacheLineSize,
+              "CachePadded must start elements on a line boundary");
+
+}  // namespace vmlp

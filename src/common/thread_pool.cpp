@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
+
+#include "common/cache_line.h"
 
 namespace vmlp {
 
@@ -94,6 +97,62 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       // reaches 0 with the mutex released, the caller may wake (even
       // spuriously), return, and destroy `state` — so the notify must not
       // touch `state` after that point.
+      MutexLock lock(state.m);
+      if (error && !state.first_error) state.first_error = error;
+      --state.remaining;
+      if (state.remaining == 0) state.done_cv.notify_one();
+    }));
+  }
+
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(state.m);
+    while (state.remaining != 0) state.done_cv.wait(state.m);
+    first_error = state.first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t lanes = std::min(n, thread_count());
+
+  // Same stack-resident completion protocol as parallel_for, plus a shared
+  // ticket counter. The ticket sits on its own cache line: it is the one
+  // word every lane hammers, and it must not false-share with the mutex or
+  // the completion count.
+  struct BatchState {
+    CachePadded<std::atomic<std::size_t>> next;
+    Mutex m;
+    CondVar done_cv;
+    std::size_t remaining VMLP_GUARDED_BY(m) = 0;
+    std::exception_ptr first_error VMLP_GUARDED_BY(m);
+  };
+  BatchState state;
+  state.next.value.store(begin, std::memory_order_relaxed);
+  {
+    MutexLock lock(state.m);
+    state.remaining = lanes;
+  }
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    enqueue(Task([&state, &body, lane, end] {
+      std::exception_ptr error;
+      try {
+        for (;;) {
+          const std::size_t i =
+              state.next.value.fetch_add(1, std::memory_order_relaxed);
+          if (i >= end) break;
+          body(lane, i);
+        }
+      } catch (...) {
+        error = std::current_exception();
+      }
+      // As in parallel_for: decrement and notify under one lock hold so the
+      // caller cannot destroy `state` between the two.
       MutexLock lock(state.m);
       if (error && !state.first_error) state.first_error = error;
       --state.remaining;

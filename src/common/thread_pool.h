@@ -53,6 +53,21 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Dynamic (self-scheduling) variant of parallel_for: one long-lived task
+  /// per worker lane, indices handed out one at a time from a shared atomic
+  /// ticket. `body(lane, i)` — `lane` is a dense id in [0, lane_count) that
+  /// is stable for the duration of the call, so callers can own per-lane
+  /// state (arenas, accumulators) without locking. Unlike the static chunks
+  /// of parallel_for, a lane that draws a long-running index does not
+  /// serialize the indices behind it — the other lanes keep draining the
+  /// ticket. Blocks until the range is drained; rethrows the first
+  /// exception. A lane that throws stops drawing tickets, but the other
+  /// lanes keep draining, matching parallel_for's other-chunks-still-run
+  /// semantics. lane_count == min(thread_count, n).
+  void parallel_for_dynamic(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t lane, std::size_t index)>& body);
+
  private:
   void enqueue(Task task);
   void worker_loop();

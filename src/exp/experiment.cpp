@@ -74,8 +74,19 @@ loadgen::RequestMix make_mix(const app::Application& application, StreamKind str
 
 }  // namespace
 
+TrialTemplate build_trial_template(const ExperimentConfig& base) {
+  TrialTemplate tpl;
+  tpl.application = workloads::make_benchmark_suite();
+  tpl.mix = make_mix(*tpl.application, base.stream, base.high_ratio);
+  return tpl;
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  auto application = workloads::make_benchmark_suite();
+  return run_experiment(config, build_trial_template(config));
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config, const TrialTemplate& tpl) {
+  const app::Application& application = *tpl.application;
 
   sched::DriverParams driver_params = config.driver;
   driver_params.seed = config.seed;
@@ -85,12 +96,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   const auto pattern = loadgen::WorkloadPattern::make(config.pattern, pattern_params,
                                                       Rng(config.seed).fork("pattern").seed());
-  const auto mix = make_mix(*application, config.stream, config.high_ratio);
   Rng arrival_rng = Rng(config.seed).fork("arrivals");
-  const auto arrivals = loadgen::generate_arrivals(pattern, mix, arrival_rng, config.qps_scale);
+  const auto arrivals =
+      loadgen::generate_arrivals(pattern, tpl.mix, arrival_rng, config.qps_scale);
 
   auto scheduler = make_scheduler(config.scheme, config.vmlp, config.seed);
-  sched::SimulationDriver driver(*application, *scheduler, driver_params);
+  sched::SimulationDriver driver(application, *scheduler, driver_params);
   driver.load_arrivals(arrivals);
 
   ExperimentResult result;

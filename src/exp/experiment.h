@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "loadgen/generator.h"
 #include "loadgen/patterns.h"
 #include "mlp/metrics.h"
 #include "obs/collector.h"
@@ -64,8 +65,31 @@ struct ExperimentResult {
   ObsCapture obs;                          ///< empty unless driver.obs.enabled
 };
 
+/// The seed-independent inputs of a trial sweep, built once and shared
+/// read-only across every trial (and every shard thread). The application
+/// suite and the request mix depend only on (stream, high_ratio) — never on
+/// the seed — yet run_experiment() historically rebuilt both per run. A
+/// sweep of N trials shares one template instead: "cloning" a trial's world
+/// is a shared_ptr copy plus a mix copy, and the simulation only ever reads
+/// through const. Everything seed-dependent (pattern, arrivals, scheduler,
+/// driver) is still constructed fresh per trial.
+struct TrialTemplate {
+  std::shared_ptr<const app::Application> application;
+  loadgen::RequestMix mix;
+};
+
+/// Build the shared template for `base`. Only `base.stream` and
+/// `base.high_ratio` matter; the result is valid for any config that agrees
+/// on those two fields (which a trial sweep does by construction).
+TrialTemplate build_trial_template(const ExperimentConfig& base);
+
 /// Execute one configuration (thread-safe: every run owns its world).
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// As above, but against a pre-built shared template instead of rebuilding
+/// the application + mix. Byte-identical results to the template-free
+/// overload (tests/test_trial_runner.cpp pins this).
+ExperimentResult run_experiment(const ExperimentConfig& config, const TrialTemplate& tpl);
 
 /// Execute a grid of configurations in parallel over a thread pool
 /// (0 threads = hardware concurrency). Results align with the input order.

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/arena.h"
+#include "common/cache_line.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -40,17 +42,32 @@ MetricSummary summarize(const std::vector<TrialRow>& trials, Getter get) {
 TrialSetResult run_trials(const TrialSpec& spec, std::size_t threads) {
   VMLP_CHECK_MSG(spec.trials > 0, "trial set must contain at least one trial");
 
+  // Seed-independent world, built once and shared read-only by every trial.
+  const TrialTemplate tpl = build_trial_template(spec.base);
+
   TrialSetResult result;
   result.trials.resize(spec.trials);
   {
     ThreadPool pool(threads);
-    pool.parallel_for(0, spec.trials, [&](std::size_t i) {
+    // One arena per worker lane, each padded onto its own cache line so
+    // adjacent lanes' bump pointers never false-share. A lane binds its
+    // arena for exactly one trial at a time and reset() recycles the
+    // chunks for the lane's next trial — steady state allocates nothing
+    // from the global heap.
+    const std::size_t lanes = std::min(spec.trials, pool.thread_count());
+    std::vector<CachePadded<ShardArena>> arenas(lanes);
+    pool.parallel_for_dynamic(0, spec.trials, [&](std::size_t lane, std::size_t i) {
+      ShardArena& arena = arenas[lane].value;
+      arena.reset();  // previous trial on this lane is fully destroyed
+      ShardArena::Scope scope(arena);
       ExperimentConfig config = spec.base;
       config.seed = trial_seed(spec.base_seed, i);
       TrialRow row;
       row.index = i;
       row.seed = config.seed;
-      ExperimentResult er = run_experiment(config);
+      ExperimentResult er = run_experiment(config, tpl);
+      // Everything a trial publishes (RunResult, Snapshot) is plain heap
+      // data, so moving it into the shared result outlives the arena.
       row.run = er.run;
       row.obs = std::move(er.obs.snapshot);
       result.trials[i] = std::move(row);

@@ -14,6 +14,17 @@
 //  * Results land in a pre-sized vector by trial index, and every aggregate
 //    is folded in index order after the pool joins — float accumulation
 //    order is fixed regardless of completion order.
+//
+// Scaling architecture (DESIGN.md §12) — all of it invisible to the bytes:
+//  * Shared TrialTemplate: the application suite + request mix are built
+//    once and read-only shared by every trial instead of rebuilt per run.
+//  * Per-lane ShardArena: each worker lane owns a cache-padded arena, bound
+//    for the duration of a trial, so the trial's event pool, ledger
+//    segments, DAG node state and registry arrays never touch the global
+//    allocator; reset() between trials recycles the lane's memory.
+//  * Dynamic assignment: lanes draw trial indices from a shared ticket
+//    (ThreadPool::parallel_for_dynamic), so one long trial cannot serialize
+//    the trials statically chunked behind it.
 #pragma once
 
 #include <cstdint>

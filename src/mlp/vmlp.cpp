@@ -88,11 +88,19 @@ void VmlpScheduler::on_late_invocation(RequestId id, std::size_t node) {
     driver_->unplace(id, node);
     if (!organizer_->organize_node(id, node)) {
       if (driver_->cluster().machine(old_machine).up()) {
-        // Nowhere better — fall back to the original machine right away; the
-        // contention model arbitrates.
+        // Nowhere better — fall back to the original machine; the contention
+        // model arbitrates. The planned start is pushed one retry interval
+        // into the future: re-planning at now() would arm the driver's late
+        // watch at the current timestamp, and when the (resampled) parent
+        // hop keeps landing past now() the watch fires before the start
+        // event, re-entering this fallback in a zero-delay event cycle that
+        // freezes simulated time. The backoff keeps every relocation retry
+        // strictly advancing the clock, so the loop is bounded by the
+        // horizon.
         const auto& svc = driver_->application().service(
             ar->runtime.type().nodes()[node].service);
-        driver_->place(id, node, old_machine, svc.demand, driver_->now(),
+        driver_->place(id, node, old_machine, svc.demand,
+                       driver_->now() + sched::kEarlyRetryInterval,
                        std::max<SimDuration>(1, old_duration));
       } else {
         // The old machine crashed since the event was armed: park the node

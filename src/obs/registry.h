@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
+
 namespace vmlp::obs {
 
 struct CounterHandle {
@@ -109,8 +111,13 @@ class Registry {
   void check_name(const std::string& name) const;
 
   std::vector<Meta> meta_;  ///< registration order (snapshot/export order)
-  std::vector<std::uint64_t> counters_;
-  std::vector<double> gauges_;
+  // Hot value arrays are arena-backed: each shard's registry is built and
+  // torn down inside that shard's arena scope, so per-trial registries never
+  // touch the global allocator. Snapshot() copies into plain heap vectors,
+  // so snapshots safely outlive the arena. meta_ stays heap-allocated — its
+  // strings are cold and registration happens once.
+  ArenaVector<std::uint64_t> counters_;
+  ArenaVector<double> gauges_;
   std::vector<HistogramData> hists_;
 };
 

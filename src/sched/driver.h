@@ -28,6 +28,7 @@
 
 #include "app/application.h"
 #include "app/exec_model.h"
+#include "common/arena.h"
 #include "app/request_runtime.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
@@ -95,7 +96,9 @@ struct DriverNode {
   bool has_reservation = false;
 
   /// Completion messages from finished parents: (caller machine, finish time).
-  std::vector<std::pair<MachineId, SimTime>> parent_msgs;
+  /// Arena-backed: one short-lived vector per DAG node is exactly the small
+  /// allocation pattern the per-shard arena exists for.
+  ArenaVector<std::pair<MachineId, SimTime>> parent_msgs;
   SimTime startable_at = -1;  ///< max(parent finish + comm), known once placed & unblocked
   sim::EventHandle start_event;
   sim::EventHandle late_event;
@@ -128,7 +131,7 @@ struct ActiveRequest {
   ActiveRequest(const app::RequestType& type, RequestId id, SimTime arrival)
       : runtime(type, id, arrival), nodes(type.size()) {}
   app::RequestRuntime runtime;
-  std::vector<DriverNode> nodes;
+  ArenaVector<DriverNode> nodes;
   /// At least one node lost an execution or placement to a failure.
   bool degraded = false;
 };

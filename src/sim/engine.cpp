@@ -20,6 +20,12 @@ std::uint64_t pack_id(std::uint64_t generation, std::uint32_t slot) {
 
 }  // namespace
 
+void Engine::reserve(std::size_t events) {
+  pool_.reserve(events);
+  heap_.reserve(events);
+  free_slots_.reserve(events);
+}
+
 std::uint32_t Engine::acquire_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();

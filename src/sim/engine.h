@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/inline_function.h"
 #include "common/types.h"
 
@@ -88,6 +89,12 @@ class Engine {
 
   [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Pre-size the event pool/heap for `events` concurrently-pending events.
+  /// Callers that know the arrival-table size (the driver) reserve up front
+  /// so the growth doublings — the engine's only steady-state allocations —
+  /// happen once, inside the shard arena when one is bound.
+  void reserve(std::size_t events);
 
   /// Attach (or detach with nullptr) a telemetry collector. Recording is
   /// strictly write-only — the engine never reads it back — so attaching one
@@ -161,9 +168,14 @@ class Engine {
   std::uint64_t obs_cancelled_ = 0;
   std::uint64_t obs_rescheduled_ = 0;
   std::size_t obs_pending_peak_ = 0;
-  std::vector<Event> pool_;                 ///< slot-indexed event storage
-  std::vector<std::uint32_t> free_slots_;   ///< reusable pool slots
-  std::vector<std::uint32_t> heap_;         ///< binary min-heap of slot indices
+  // The three hot arrays are arena-backed: an Engine constructed inside a
+  // shard's ShardArena::Scope grows them from the lane-local arena instead of
+  // the (contended) global allocator. Outside a scope they are plain heap
+  // vectors. The Engine must not outlive the arena it was constructed under —
+  // the trial runner guarantees this by scoping both to one trial.
+  ArenaVector<Event> pool_;                 ///< slot-indexed event storage
+  ArenaVector<std::uint32_t> free_slots_;   ///< reusable pool slots
+  ArenaVector<std::uint32_t> heap_;         ///< binary min-heap of slot indices
   /// Periodic series: series handle id -> state; occurrence events re-arm
   /// themselves under fresh event ids while the series id stays stable so one
   /// cancel() stops the series. Cold path: a handful per simulation.

@@ -1,0 +1,64 @@
+// [shard-shared-state] fixture: mutation of shared state from inside a
+// shard-worker lambda (a callable handed to ThreadPool::parallel_for /
+// parallel_for_dynamic). Two violations — a by-reference accumulation and an
+// unguarded container mutation — plus the full set of sanctioned near-misses:
+// a slot write indexed by a lambda parameter, body-local state, a
+// VMLP_GUARDED_BY member, and lane-owned ShardArena memory. Self-contained so
+// both frontends can process it without project includes.
+#include <cstddef>
+#include <vector>
+
+#define VMLP_GUARDED_BY(mu)
+
+namespace vmlp::exp {
+
+struct ShardArena {
+  void reset() {}
+};
+
+struct ThreadPool {
+  template <typename F>
+  void parallel_for_dynamic(std::size_t, std::size_t, F&&) {}
+  template <typename F>
+  void parallel_for(std::size_t, std::size_t, F&&) {}
+};
+
+struct Row {
+  double wall = 0.0;
+};
+
+class Runner {
+ public:
+  void run(std::size_t trials) {
+    ThreadPool pool;
+    std::vector<Row> results(trials);
+    std::vector<std::size_t> order;
+    std::vector<ShardArena> arenas(8);
+    double total_wall = 0.0;
+    pool.parallel_for_dynamic(0, trials, [&](std::size_t lane, std::size_t i) {
+      ShardArena& arena = arenas[lane];
+      arena.reset();  // near-miss: ShardArena is lane-owned memory
+      Row row;        // near-miss: body-local state
+      row.wall = static_cast<double>(i);
+      total_wall += row.wall;     // VIOLATION: shard-shared-state
+      order.push_back(i);         // VIOLATION: shard-shared-state
+      results[i] = row;           // near-miss: slot indexed by lambda param
+      done_ += 1;                 // near-miss: VMLP_GUARDED_BY member
+    });
+  }
+
+ private:
+  std::size_t done_ VMLP_GUARDED_BY(mu_) = 0;
+  int mu_ = 0;
+};
+
+// A lambda not handed to the pool mutates captures freely: the rule is scoped
+// to shard workers, not to lambdas in general.
+inline double sequential_sum(const std::vector<Row>& rows) {
+  double total = 0.0;
+  auto add = [&](const Row& r) { total += r.wall; };
+  for (const Row& r : rows) add(r);
+  return total;
+}
+
+}  // namespace vmlp::exp

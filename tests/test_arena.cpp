@@ -1,0 +1,180 @@
+// ShardArena + ArenaAllocator: bump allocation, chunk growth, reset reuse,
+// scope binding, heap fallback — the per-shard memory model trial sharding
+// leans on (DESIGN.md §12). CachePadded layout asserts ride along.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/cache_line.h"
+
+namespace vmlp {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(ShardArena, AllocationsAreAlignedAndDisjoint) {
+  ShardArena arena;
+  auto* a = static_cast<char*>(arena.allocate(24, 8));
+  auto* b = static_cast<char*>(arena.allocate(24, 8));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(aligned_to(a, 8));
+  EXPECT_TRUE(aligned_to(b, 8));
+  // Writes to one block must not alias the other.
+  std::fill(a, a + 24, 'a');
+  std::fill(b, b + 24, 'b');
+  EXPECT_EQ(a[23], 'a');
+  EXPECT_EQ(b[0], 'b');
+  EXPECT_GE(arena.bytes_in_use(), std::size_t{48});
+}
+
+TEST(ShardArena, HonorsLargeAlignment) {
+  ShardArena arena;
+  (void)arena.allocate(1, 1);  // skew the bump pointer
+  void* p = arena.allocate(64, 64);
+  EXPECT_TRUE(aligned_to(p, 64));
+}
+
+TEST(ShardArena, GrowsBeyondOneChunkAndServesOversizedRequests) {
+  ShardArena arena;
+  // Exhaust the initial chunk with small allocations...
+  for (int i = 0; i < 100; ++i) (void)arena.allocate(1024, 8);
+  EXPECT_GE(arena.chunk_count(), 2u);
+  // ...and ask for more than the max chunk size in one go.
+  const std::size_t big = ShardArena::kMaxChunkBytes + 4096;
+  auto* p = static_cast<char*>(arena.allocate(big, 16));
+  ASSERT_NE(p, nullptr);
+  p[0] = 1;
+  p[big - 1] = 2;  // the whole span must be writable
+  EXPECT_EQ(p[0] + p[big - 1], 3);
+}
+
+TEST(ShardArena, ResetRetainsChunksAndReusesMemory) {
+  ShardArena arena;
+  for (int i = 0; i < 200; ++i) (void)arena.allocate(512, 8);
+  const std::size_t chunks_before = arena.chunk_count();
+  const std::size_t high_water = arena.high_water_bytes();
+  ASSERT_GT(high_water, 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.chunk_count(), chunks_before);  // memory retained
+  EXPECT_EQ(arena.reset_count(), 1u);
+
+  // The steady state of a trial sweep: the same load replayed after reset()
+  // must fit entirely in the retained chunks (no further growth).
+  for (int i = 0; i < 200; ++i) (void)arena.allocate(512, 8);
+  EXPECT_EQ(arena.chunk_count(), chunks_before);
+  EXPECT_EQ(arena.high_water_bytes(), high_water);
+}
+
+TEST(ShardArena, CurrentIsNullOutsideScopeAndBoundInside) {
+  EXPECT_EQ(ShardArena::current(), nullptr);
+  ShardArena arena;
+  {
+    ShardArena::Scope scope(arena);
+    EXPECT_EQ(ShardArena::current(), &arena);
+    ShardArena inner;
+    {
+      ShardArena::Scope nested(inner);
+      EXPECT_EQ(ShardArena::current(), &inner);
+    }
+    EXPECT_EQ(ShardArena::current(), &arena);  // previous binding restored
+  }
+  EXPECT_EQ(ShardArena::current(), nullptr);
+}
+
+TEST(ShardArena, ScopeBindingIsPerThread) {
+  ShardArena arena;
+  ShardArena::Scope scope(arena);
+  ShardArena* seen = &arena;
+  std::thread peer([&] { seen = ShardArena::current(); });
+  peer.join();
+  EXPECT_EQ(seen, nullptr);  // another thread must not inherit the binding
+}
+
+TEST(ArenaAllocator, VectorUsesArenaInsideScope) {
+  ShardArena arena;
+  ShardArena::Scope scope(arena);
+  ArenaVector<int> v(1000);
+  EXPECT_EQ(v.get_allocator().arena(), &arena);
+  EXPECT_GE(arena.bytes_in_use(), 1000 * sizeof(int));
+  std::iota(v.begin(), v.end(), 0);
+  EXPECT_EQ(v[999], 999);
+}
+
+TEST(ArenaAllocator, FallsBackToHeapOutsideScope) {
+  ASSERT_EQ(ShardArena::current(), nullptr);
+  ArenaVector<int> v;
+  EXPECT_EQ(v.get_allocator().arena(), nullptr);
+  for (int i = 0; i < 10000; ++i) v.push_back(i);  // plain heap churn
+  EXPECT_EQ(v[9999], 9999);
+}
+
+TEST(ArenaAllocator, MovePropagatesTheAllocatorOutOfScope) {
+  // A container moved out of a trial scope carries its arena allocator with
+  // it — the reason published results are *copied* to plain-heap types, never
+  // moved (see the lifetime rule in common/arena.h).
+  ShardArena arena;
+  ArenaVector<int> out;
+  {
+    ShardArena::Scope scope(arena);
+    ArenaVector<int> in(64, 7);
+    out = std::move(in);
+  }
+  EXPECT_EQ(out.get_allocator().arena(), &arena);
+  EXPECT_EQ(out[63], 7);
+}
+
+TEST(ArenaAllocator, RebindSharesTheArena) {
+  ShardArena arena;
+  ArenaAllocator<int> ints(&arena);
+  ArenaAllocator<double> doubles(ints);  // converting ctor
+  EXPECT_EQ(doubles.arena(), &arena);
+  EXPECT_TRUE(ArenaAllocator<int>(&arena) == ints);
+  EXPECT_TRUE(ArenaAllocator<int>(nullptr) != ints);
+}
+
+TEST(ArenaAllocator, ArenaResetAfterContainerDestruction) {
+  // The trial_runner sequence: bind, build, publish copies, destroy, reset.
+  ShardArena arena;
+  for (int trial = 0; trial < 3; ++trial) {
+    arena.reset();
+    ShardArena::Scope scope(arena);
+    ArenaVector<std::size_t> v;
+    for (std::size_t i = 0; i < 5000; ++i) v.push_back(i);
+    std::vector<std::size_t> published(v.begin(), v.end());  // heap copy
+    EXPECT_EQ(published[4999], 4999u);
+  }
+  EXPECT_EQ(arena.reset_count(), 3u);
+}
+
+TEST(CachePadded, SlotsOccupyDistinctCacheLines) {
+  static_assert(alignof(CachePadded<int>) == kCacheLineSize);
+  static_assert(sizeof(CachePadded<int>) % kCacheLineSize == 0);
+  std::vector<CachePadded<int>> slots(4);
+  for (int i = 0; i < 4; ++i) slots[i].value = i;
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    auto a = reinterpret_cast<std::uintptr_t>(&slots[i - 1].value);
+    auto b = reinterpret_cast<std::uintptr_t>(&slots[i].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+  EXPECT_EQ(slots[3].value, 3);
+}
+
+TEST(CachePadded, ForwardsConstructorArguments) {
+  CachePadded<std::vector<int>> padded(std::vector<int>(3, 9));
+  EXPECT_EQ(padded.value.size(), 3u);
+  EXPECT_EQ(padded.value[0], 9);
+}
+
+}  // namespace
+}  // namespace vmlp

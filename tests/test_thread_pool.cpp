@@ -169,6 +169,64 @@ TEST(ThreadPool, ParallelForRethrowsFirstError) {
                std::logic_error);
 }
 
+TEST(ThreadPool, ParallelForDynamicCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for_dynamic(
+      0, hits.size(), [&](std::size_t, std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForDynamicLaneIdsAreDenseAndStable) {
+  // Lane ids index per-lane state (arenas in trial_runner): every id must be
+  // < min(range, thread_count) and an index must see exactly one lane.
+  ThreadPool pool(4);
+  const std::size_t n = 300;
+  std::vector<std::atomic<std::size_t>> lane_of(n);
+  for (auto& l : lane_of) l.store(n);  // sentinel: no valid lane equals n
+  pool.parallel_for_dynamic(0, n, [&](std::size_t lane, std::size_t i) {
+    EXPECT_LT(lane, pool.thread_count());
+    lane_of[i].store(lane);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_LT(lane_of[i].load(), pool.thread_count()) << i;
+}
+
+TEST(ThreadPool, ParallelForDynamicFewerItemsThanThreads) {
+  // lanes = min(n, thread_count): with 2 items on an 8-thread pool only
+  // lanes 0 and 1 may appear (per-lane slot vectors are sized by that rule).
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for_dynamic(0, 2, [&](std::size_t lane, std::size_t) {
+    EXPECT_LT(lane, 2u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForDynamicEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for_dynamic(5, 5, [](std::size_t, std::size_t) { FAIL() << "must not run"; });
+  pool.parallel_for_dynamic(7, 3, [](std::size_t, std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForDynamicOffsetRange) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for_dynamic(10, 20, [&](std::size_t, std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+11+...+19
+}
+
+TEST(ThreadPool, ParallelForDynamicRethrowsFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_dynamic(0, 100,
+                                         [](std::size_t, std::size_t i) {
+                                           if (i == 37) throw std::logic_error("bad index");
+                                         }),
+               std::logic_error);
+  // The pool must stay usable after a throwing sweep.
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
 TEST(ThreadPool, ShutdownUnderContentionDrainsEveryAcceptedTask) {
   // Destroy pools while producer threads are mid-submit: every task whose
   // submit() succeeded must run exactly once, none may be dropped on the

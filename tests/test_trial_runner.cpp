@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
@@ -85,6 +86,41 @@ TEST(TrialRunner, MergedOutputByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(format_trial_set(run_trials(spec, threads)), serial)
         << "merged summary diverged at " << threads << " threads";
   }
+}
+
+TEST(TrialTemplateTest, TemplateRunByteIdenticalToTemplateFreeRun) {
+  // The CoW template (application + mix built once, shared per trial) must be
+  // an exact clone of what run_experiment() would rebuild itself — for every
+  // seed, since everything seed-dependent stays per-trial.
+  ExperimentConfig base = tiny_config();
+  const TrialTemplate tpl = build_trial_template(base);
+  for (const std::uint64_t seed : {1u, 2022u, 999u}) {
+    ExperimentConfig config = base;
+    config.seed = seed;
+    const ExperimentResult fresh = run_experiment(config);
+    const ExperimentResult templated = run_experiment(config, tpl);
+    EXPECT_EQ(fresh.run.arrived, templated.run.arrived) << seed;
+    EXPECT_EQ(fresh.run.completed, templated.run.completed) << seed;
+    EXPECT_EQ(fresh.run.placements, templated.run.placements) << seed;
+    // Doubles compared bitwise-exactly: same arithmetic in the same order.
+    EXPECT_EQ(fresh.run.p99_latency_us, templated.run.p99_latency_us) << seed;
+    EXPECT_EQ(fresh.run.mean_latency_us, templated.run.mean_latency_us) << seed;
+    EXPECT_EQ(fresh.run.throughput_rps, templated.run.throughput_rps) << seed;
+    EXPECT_EQ(fresh.run.qos_violation_rate, templated.run.qos_violation_rate) << seed;
+    EXPECT_EQ(fresh.utilization_series, templated.utilization_series) << seed;
+  }
+}
+
+TEST(TrialTemplateTest, OneTemplateSharedByConcurrentTrials) {
+  // The same template object served to every shard thread must reproduce the
+  // rebuilt-per-trial merged output byte for byte (run_trials uses the
+  // template internally; the reference here is the 1-thread sweep).
+  TrialSpec spec;
+  spec.base = tiny_config();
+  spec.trials = 9;  // more trials than lanes: lanes recycle via work stealing
+  spec.base_seed = 2022;
+  const std::string serial = format_trial_set(run_trials(spec, 1));
+  EXPECT_EQ(format_trial_set(run_trials(spec, 3)), serial);
 }
 
 TEST(TrialRunner, RowsCarryIndexAndDerivedSeed) {

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py (run directly or via ctest).
+
+Exercises the absolute-floor semantics behind the CI scaling gate: a
+--floor on a *.tN.speedup_vs_t1 metric must fail a slow run on a capable
+runner, but be skipped — never failed — on a runner with fewer than N
+hardware threads or when the run's coefficient of variation marks it as
+noise. The pre-existing relative gates must keep working around them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_compare  # noqa: E402
+
+
+BASE_METRICS = {
+    "engine.events_per_sec": 4_000_000.0,
+    "trials.t1.trials_per_sec": 14.0,
+    "trials.t4.trials_per_sec": 45.0,
+    "trials.t4.speedup_vs_t1": 3.2,
+}
+
+
+def run_compare(new_doc: dict, argv: list[str], base_doc: dict | None = None):
+    """Run bench_compare.main() on temp files; returns (exit_code, stdout+stderr)."""
+    if base_doc is None:
+        base_doc = {"metrics": dict(BASE_METRICS), "hardware_concurrency": 8}
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = Path(tmp) / "baseline.json"
+        new_path = Path(tmp) / "new.json"
+        base_path.write_text(json.dumps(base_doc), encoding="utf-8")
+        new_path.write_text(json.dumps(new_doc), encoding="utf-8")
+        out = io.StringIO()
+        code: int | None = None
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+            sys.argv = ["bench_compare.py", str(base_path), str(new_path)] + argv
+            try:
+                code = bench_compare.main()
+            except SystemExit as e:  # load_doc/parse_floor_arg exit directly
+                code = int(e.code or 0)
+        return code, out.getvalue()
+
+
+def new_doc(hw: int = 8, **overrides) -> dict:
+    metrics = {
+        "engine.events_per_sec": 4_100_000.0,
+        "trials.t1.trials_per_sec": 14.2,
+        "trials.t1.cov": 0.03,
+        "trials.t4.trials_per_sec": 48.0,
+        "trials.t4.cov": 0.04,
+        "trials.t4.speedup_vs_t1": 3.4,
+    }
+    metrics.update(overrides)
+    return {"metrics": metrics, "hardware_concurrency": hw}
+
+
+class FloorArgTest(unittest.TestCase):
+    def test_parse_valid(self):
+        self.assertEqual(bench_compare.parse_floor_arg("trials.t4.speedup_vs_t1=3.0"),
+                         ("trials.t4.speedup_vs_t1", 3.0))
+
+    def test_parse_missing_equals_exits(self):
+        with self.assertRaises(SystemExit) as ctx:
+            bench_compare.parse_floor_arg("trials.t4.speedup_vs_t1")
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_parse_non_number_exits(self):
+        with self.assertRaises(SystemExit) as ctx:
+            bench_compare.parse_floor_arg("key=fast")
+        self.assertEqual(ctx.exception.code, 2)
+
+
+class SpeedupFloorTest(unittest.TestCase):
+    FLOOR = ["--floor", "trials.t4.speedup_vs_t1=3.0"]
+
+    def test_floor_met_passes(self):
+        code, out = run_compare(new_doc(), self.FLOOR)
+        self.assertEqual(code, 0, out)
+        self.assertIn("meets floor", out)
+
+    def test_floor_violated_fails(self):
+        code, out = run_compare(new_doc(**{"trials.t4.speedup_vs_t1": 1.1}), self.FLOOR)
+        self.assertEqual(code, 1, out)
+        self.assertIn("below floor", out)
+
+    def test_skipped_on_too_few_cores(self):
+        doc = new_doc(hw=2, **{"trials.t4.speedup_vs_t1": 0.9})
+        code, out = run_compare(doc, self.FLOOR)
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIPPED", out)
+        self.assertIn("hardware thread", out)
+        self.assertIn("NOT verified", out)
+
+    def test_skipped_on_missing_hardware_concurrency(self):
+        doc = new_doc(**{"trials.t4.speedup_vs_t1": 0.9})
+        del doc["hardware_concurrency"]
+        code, out = run_compare(doc, self.FLOOR)
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIPPED", out)
+
+    def test_skipped_on_noisy_run(self):
+        doc = new_doc(**{"trials.t4.speedup_vs_t1": 0.9, "trials.t4.cov": 0.5})
+        code, out = run_compare(doc, self.FLOOR)
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIPPED", out)
+        self.assertIn("too noisy", out)
+
+    def test_noisy_t1_leg_also_skips(self):
+        doc = new_doc(**{"trials.t4.speedup_vs_t1": 0.9, "trials.t1.cov": 0.4})
+        code, out = run_compare(doc, self.FLOOR)
+        self.assertEqual(code, 0, out)
+        self.assertIn("trials.t1.cov", out)
+
+    def test_max_cov_is_tunable(self):
+        doc = new_doc(**{"trials.t4.speedup_vs_t1": 3.4, "trials.t4.cov": 0.2})
+        code, out = run_compare(doc, self.FLOOR + ["--max-cov", "0.25"])
+        self.assertEqual(code, 0, out)
+        self.assertIn("meets floor", out)
+
+    def test_non_speedup_floor_is_unconditional(self):
+        # An ordinary floor must bind even on a 1-core, cov-free run.
+        doc = new_doc(hw=1, **{"trials.t1.trials_per_sec": 5.0})
+        code, out = run_compare(doc, ["--floor", "trials.t1.trials_per_sec=10.0"])
+        self.assertEqual(code, 1, out)
+        self.assertIn("below floor", out)
+
+
+class RelativeGateTest(unittest.TestCase):
+    def test_gated_regression_still_fails(self):
+        code, out = run_compare(new_doc(**{"engine.events_per_sec": 1_000_000.0}), [])
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL", out)
+
+    def test_cov_metrics_are_not_warned(self):
+        # cov in the baseline lower than the new run: without the quality-
+        # indicator carve-out this would "regress" and warn spuriously.
+        base = {"metrics": dict(BASE_METRICS, **{"trials.t4.cov": 0.01}),
+                "hardware_concurrency": 8}
+        code, out = run_compare(new_doc(**{"trials.t4.cov": 0.1}), [], base_doc=base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("run-quality indicator", out)
+
+    def test_clean_run_passes(self):
+        code, out = run_compare(new_doc(), [])
+        self.assertEqual(code, 0, out)
+        self.assertIn("PASS", out)
+
+
+class SchemaTest(unittest.TestCase):
+    def test_missing_metrics_object_is_usage_error(self):
+        code, out = run_compare({"schema": "vmlp-bench-core/v1"}, [])
+        self.assertEqual(code, 2, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

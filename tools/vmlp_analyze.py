@@ -47,6 +47,16 @@ need scope structure and variable types, not line patterns:
                      weight on the hottest path or a symptom of cross-thread
                      sharing that belongs at the trial level.
 
+  [shard-shared-state] Mutation of shared state inside a shard-worker lambda
+                     (the callable handed to ThreadPool::parallel_for or
+                     parallel_for_dynamic) that is not provably shard-safe.
+                     Concurrent lanes race on anything captured by reference
+                     and written without discipline. Sanctioned: body-local
+                     variables, lambda parameters, element writes indexed by
+                     a lambda parameter (the pre-sized slot-per-trial idiom),
+                     VMLP_GUARDED_BY-annotated members, and ShardArena
+                     variables (lane-owned memory, DESIGN.md §12).
+
 Frontends. The analyzer is driven by compile_commands.json and prefers
 libclang (clang.cindex) when importable: the AST supplies canonical types
 for parameters, members, and locals, so typedef'd containers or
@@ -157,10 +167,14 @@ FUNC_HEAD = re.compile(
 )
 CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do", "else", "try"}
 ENGINE_SCHEDULE_CALL = re.compile(r"\b(?:schedule_at|schedule_after|schedule_periodic)\s*\(")
+POOL_DISPATCH_CALL = re.compile(r"\bparallel_for(?:_dynamic)?\s*\(")
+LAMBDA_PARAMS = re.compile(r"\]\s*\(([^()]*)\)")
+PARAM_NAME = re.compile(r"([A-Za-z_]\w*)\s*(?:,|$)")
 
 
 class Scope:
-    __slots__ = ("kind", "name", "begin", "end", "line", "parent", "engine_callback")
+    __slots__ = ("kind", "name", "begin", "end", "line", "parent", "engine_callback",
+                 "pool_worker", "params")
 
     def __init__(self, kind: str, name: str, begin: int, line: int, parent):
         self.kind = kind  # namespace|class|function|lambda|control|block
@@ -170,6 +184,10 @@ class Scope:
         self.line = line
         self.parent = parent
         self.engine_callback = False
+        # Lambda passed to ThreadPool::parallel_for{,_dynamic}: its body runs
+        # concurrently on pool workers (the shard-shared-state rule's scope).
+        self.pool_worker = False
+        self.params = ()  # lambda parameter names (shard/index args)
 
     def chain(self):
         s = self
@@ -194,35 +212,43 @@ class Scope:
 
 
 def classify_header(header: str, lambda_engine: bool):
-    """Classify the text preceding a '{'. Returns (kind, name, engine_cb)."""
+    """Classify the text preceding a '{'.
+    Returns (kind, name, engine_cb, pool_worker, params)."""
     h = header.strip()
     if not h:
-        return "block", "", False
+        return "block", "", False, False, ()
     m = LAMBDA_HEAD.search(h)
     if m and "[" in h:
-        # Lambda body; is it an argument of an engine schedule_* call still
-        # open at the point the capture list starts?
-        engine = bool(ENGINE_SCHEDULE_CALL.search(h[: m.start() + 1])) or lambda_engine
-        return "lambda", "", engine
+        # Lambda body; is it an argument of an engine schedule_* call (or a
+        # thread-pool dispatch) still open at the point the capture list
+        # starts?
+        prefix = h[: m.start() + 1]
+        engine = bool(ENGINE_SCHEDULE_CALL.search(prefix)) or lambda_engine
+        pool = bool(POOL_DISPATCH_CALL.search(prefix))
+        params = ()
+        pm = LAMBDA_PARAMS.search(h, m.start())
+        if pm:
+            params = tuple(PARAM_NAME.findall(pm.group(1)))
+        return "lambda", "", engine, pool, params
     if ENUM_HEAD.search(h):
-        return "block", "", False
+        return "block", "", False, False, ()
     m = NAMESPACE_HEAD.search(h)
     if m:
-        return "namespace", m.group(1) or "", False
+        return "namespace", m.group(1) or "", False, False, ()
     m = CLASS_HEAD.search(h)
     if m:
-        return "class", m.group(1), False
+        return "class", m.group(1), False, False, ()
     m = FUNC_HEAD.search(h)
     if m:
         name = m.group(1)
         base = name.split("::")[-1].lstrip("~")
         if base in CONTROL_KEYWORDS:
-            return "control", "", False
-        return "function", name, False
+            return "control", "", False, False, ()
+        return "function", name, False, False, ()
     first = re.match(r"([A-Za-z_]\w*)", h)
     if first and first.group(1) in CONTROL_KEYWORDS:
-        return "control", "", False
-    return "block", "", False
+        return "control", "", False, False, ()
+    return "block", "", False, False, ()
 
 
 def build_scopes(clean: str):
@@ -245,9 +271,11 @@ def build_scopes(clean: str):
             header = clean[header_start:i]
             parent = stack[-1] if stack else None
             parent_engine = parent.engine_callback if parent else False
-            kind, name, engine = classify_header(header, parent_engine and False)
+            kind, name, engine, pool, params = classify_header(header, parent_engine and False)
             scope = Scope(kind, name, i, line_of(clean, i), parent)
             scope.engine_callback = engine
+            scope.pool_worker = pool
+            scope.params = params
             scopes.append(scope)
             stack.append(scope)
             header_start = i + 1
@@ -286,6 +314,8 @@ COLLECTOR_DECL = re.compile(
     r"(?:(?:vmlp\s*::\s*)?obs\s*::\s*)?Collector\s*\*\s*(\w+)\s*[;={]|"
     r"unique_ptr\s*<\s*(?:vmlp\s*::\s*)?(?:obs\s*::\s*)?Collector\s*>\s+(\w+)\s*[;={]"
 )
+GUARDED_DECL = re.compile(r"\b(\w+)\s+VMLP_GUARDED_BY\s*\(")
+ARENA_DECL = re.compile(r"\bShardArena\s*[&*]?\s*(\w+)\s*[;={(]")
 
 
 class ModuleDecls:
@@ -296,6 +326,8 @@ class ModuleDecls:
         self.rng: set = set()  # any Rng variable (value or ref)
         self.floats: set = set()
         self.collectors: set = set()
+        self.guarded: set = set()  # VMLP_GUARDED_BY-annotated members
+        self.arenas: set = set()   # ShardArena variables (lane-owned memory)
 
 
 def harvest_decls(clean: str, decls: ModuleDecls) -> None:
@@ -307,6 +339,10 @@ def harvest_decls(clean: str, decls: ModuleDecls) -> None:
         decls.floats.add(m.group(1))
     for m in COLLECTOR_DECL.finditer(clean):
         decls.collectors.add(m.group(1) or m.group(2))
+    for m in GUARDED_DECL.finditer(clean):
+        decls.guarded.add(m.group(1))
+    for m in ARENA_DECL.finditer(clean):
+        decls.arenas.add(m.group(1))
 
 
 # --------------------------------------------------------------------------
@@ -611,6 +647,77 @@ def check_engine_lock(ctx, findings):
                          "simulation thread; locking there stalls the hot path")
 
 
+WRITE_TRAILER = r"((?:\s*(?:\.|->)\s*\w+|\s*\[[^\]]*\])*)"
+SHARD_ASSIGN = re.compile(
+    r"(?<![\w.>:])([A-Za-z_]\w*)" + WRITE_TRAILER +
+    r"\s*(?:=(?!=)|\+=|-=|\*=|/=|\|=|&=|\^=|<<=|>>=|\+\+|--)")
+SHARD_PREFIX_INCR = re.compile(
+    r"(?:\+\+|--)\s*([A-Za-z_]\w*)" + WRITE_TRAILER)
+SHARD_MUTATOR = re.compile(
+    r"(?<![\w.>:])([A-Za-z_]\w*)" + WRITE_TRAILER +
+    r"\s*(?:\.|->)\s*(?:push_back|emplace_back|emplace|insert|erase|clear|"
+    r"resize|reserve|pop_back|assign|append|merge_from|reset)\s*\(")
+LOCAL_DECL = re.compile(
+    r"(?:^|[;{}()])\s*(?:const\s+)?([A-Za-z_][\w:]*(?:\s*<[^<>]*>)?)\s*"
+    r"[&*]?\s+([A-Za-z_]\w*)\s*(?:=|;|\{|\()")
+LOCAL_DECL_KEYWORDS = {"return", "delete", "throw", "else", "case", "goto", "new",
+                       "co_return", "co_yield", "typename", "using", "break",
+                       "continue", "do", "sizeof"}
+TRAILER_MEMBER = re.compile(r"(?:\.|->)\s*(\w+)")
+TRAILER_INDEX = re.compile(r"\[([^\]]*)\]")
+
+
+def check_shard_shared_state(ctx, findings):
+    """Mutation of shared state inside a shard-worker lambda (the callable
+    handed to ThreadPool::parallel_for / parallel_for_dynamic) that is not
+    provably shard-safe. Sanctioned patterns:
+      * body-local variables (each invocation owns its own);
+      * lambda parameters, and element writes indexed by a lambda parameter
+        (the pre-sized results[i] slot-per-trial idiom);
+      * VMLP_GUARDED_BY-annotated members (mutex-protected by contract);
+      * ShardArena variables (lane-owned memory, bound per worker).
+    Everything else written from a pool-worker lambda is cross-shard shared
+    mutable state — the class of bug the per-shard arena architecture
+    (DESIGN.md §12) exists to rule out. Heuristic limits: a body-local
+    *reference* aliasing shared state is trusted (the per-lane padded-slot
+    idiom takes that shape deliberately)."""
+    if ctx.module is None:
+        return
+    for scope in ctx.scopes:
+        if scope.kind != "lambda" or not scope.pool_worker:
+            continue
+        body = ctx.clean[scope.begin : scope.end + 1 if scope.end >= 0 else len(ctx.clean)]
+        local = set(scope.params)
+        for m in LOCAL_DECL.finditer(body):
+            if m.group(1) not in LOCAL_DECL_KEYWORDS:
+                local.add(m.group(2))
+        seen = set()
+        for pattern, what in ((SHARD_ASSIGN, "assignment to"),
+                              (SHARD_PREFIX_INCR, "increment of"),
+                              (SHARD_MUTATOR, "mutating call on")):
+            for m in pattern.finditer(body):
+                root, trailer = m.group(1), m.group(2) or ""
+                if root in local or root in ctx.decls.arenas:
+                    continue
+                members = TRAILER_MEMBER.findall(trailer)
+                if root in ctx.decls.guarded or any(x in ctx.decls.guarded for x in members):
+                    continue
+                indexes = TRAILER_INDEX.findall(trailer)
+                if any(re.search(rf"\b{re.escape(p)}\b", ix)
+                       for ix in indexes for p in scope.params):
+                    continue
+                lineno = line_of(ctx.clean, scope.begin + m.start())
+                target = root + re.sub(r"\s+", "", trailer)
+                if (lineno, target) in seen:
+                    continue
+                seen.add((lineno, target))
+                ctx.emit(findings, lineno, "shard-shared-state",
+                         f"{what} '{target}' inside a shard-worker lambda: not "
+                         "body-local, not indexed by a lambda parameter, and not "
+                         "VMLP_GUARDED_BY/arena-owned — concurrent shards race on "
+                         "it; give each lane its own padded slot or guard it")
+
+
 # --------------------------------------------------------------------------
 # per-file analysis context
 
@@ -664,7 +771,7 @@ class FileContext:
 
 
 RULES = [check_host_clock, check_rng_by_value, check_unordered_escape,
-         check_obs_readback, check_engine_lock]
+         check_obs_readback, check_engine_lock, check_shard_shared_state]
 
 
 # --------------------------------------------------------------------------
