@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "cluster/cell_topology.h"
 #include "cluster/machine.h"
 #include "common/error.h"
 #include "common/types.h"
@@ -20,6 +21,9 @@ struct ClusterParams {
   /// admission fast path (tools/determinism_check claim 5). Queries are
   /// decision-identical across backends; only speed differs.
   bool legacy_ledger = false;
+  /// Cell partition for the scale-out router (see cell_topology.h). The
+  /// default single cell is byte-identical to the pre-topology flat cluster.
+  CellTopologyParams topology;
 };
 
 class Cluster {
@@ -51,8 +55,13 @@ class Cluster {
   /// Drop reservation-profile history before t on every machine.
   void compact_ledgers_before(SimTime t);
 
+  /// Cell partition + router load counters + headroom summary index.
+  [[nodiscard]] CellTopology& cells() { return cells_; }
+  [[nodiscard]] const CellTopology& cells() const { return cells_; }
+
  private:
   std::vector<Machine> machines_;
+  CellTopology cells_;
 };
 
 }  // namespace vmlp::cluster

@@ -191,6 +191,7 @@ void ReservationLedger::coalesce(SimTime t0, SimTime t1) {
 
 void ReservationLedger::reserve(SimTime t0, SimTime t1, const ResourceVector& r) {
   VMLP_CHECK_MSG(t0 < t1, "empty reservation window [" << t0 << "," << t1 << ")");
+  ++version_;
   if (obs_ != nullptr) obs_->count(obs_->ledger().windows_reserved);
   // A negative or non-finite reservation silently *creates* capacity — the
   // canonical corruption a buggy planner would introduce.
@@ -202,6 +203,9 @@ void ReservationLedger::reserve(SimTime t0, SimTime t1, const ResourceVector& r)
     for (std::size_t i = begin; i < end; ++i) {
       segs_[i].level += r;
       segs_[i].headroom = headroom_of(segs_[i].level);
+      // Keep the peak bound exact across reserves: raising levels can only
+      // move the whole-profile peak to one of the levels written here.
+      peak_ = peak_.max(segs_[i].level);
     }
     coalesce_flat(t0, t1);
     index_dirty_ = true;
@@ -220,6 +224,7 @@ void ReservationLedger::reserve(SimTime t0, SimTime t1, const ResourceVector& r)
 
 void ReservationLedger::release(SimTime t0, SimTime t1, const ResourceVector& r) {
   VMLP_CHECK_MSG(t0 < t1, "empty release window");
+  ++version_;
   if (obs_ != nullptr) obs_->count(obs_->ledger().windows_released);
   VMLP_AUDIT_ASSERT(r.is_finite(), "non-finite release " << r.to_string());
   VMLP_AUDIT_ASSERT(!r.any_negative(),
@@ -259,6 +264,7 @@ void ReservationLedger::compact_before(SimTime t) {
     if (it == segs_.begin()) return;
     const std::size_t cover = static_cast<std::size_t>(it - segs_.begin()) - 1;
     if (cover == 0) return;
+    ++version_;
     segs_.erase(segs_.begin(), segs_.begin() + static_cast<std::ptrdiff_t>(cover));
     index_dirty_ = true;
     dirty_from_ = 0;  // the prefix erase shifted every surviving index
@@ -268,6 +274,7 @@ void ReservationLedger::compact_before(SimTime t) {
   if (it == profile_.begin()) return;
   --it;  // segment covering t
   if (it == profile_.begin()) return;
+  ++version_;
   const ResourceVector level = it->second;
   const SimTime key = it->first;
   profile_.erase(profile_.begin(), it);
@@ -278,6 +285,20 @@ void ReservationLedger::compact_before(SimTime t) {
 // --------------------------------------------------------------------------
 // Queries.
 // --------------------------------------------------------------------------
+
+double ReservationLedger::free_fraction() const {
+  if (backend_ == Backend::kFlat) {
+    // Deliberately no ensure_index(): peak_ is a maintained upper bound (see
+    // its declaration), and rebuilding the index here made the cell headroom
+    // summary's refresh cost O(segments) per mutated machine — at 1k+
+    // machines that re-folded the whole cluster's ledgers once per mutation
+    // and re-coupled per-placement cost to cluster size.
+    return std::max(0.0, headroom_of(peak_));
+  }
+  ResourceVector peak = ResourceVector::zero();
+  for (const auto& [t, level] : profile_) peak = peak.max(level);
+  return std::max(0.0, headroom_of(peak));
+}
 
 ResourceVector ReservationLedger::usage_at(SimTime t) const {
   if (backend_ == Backend::kFlat) return segs_[covering_index(t)].level;

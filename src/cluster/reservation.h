@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -129,6 +130,31 @@ class ReservationLedger {
     return backend_ == Backend::kFlat ? segs_.size() : profile_.size();
   }
 
+  /// Monotonic mutation epoch: incremented by every reserve/release and by
+  /// any compact_before that actually erases history. Cached summaries built
+  /// from this ledger (the cell headroom index) compare epochs to detect
+  /// staleness without being wired into the mutation path.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Guaranteed free fraction: min over dimensions of
+  /// (capacity - whole-profile peak) / capacity, clamped at 0. A demand whose
+  /// demand_fraction_of() is strictly below this fits at *every* time — the
+  /// cell headroom index uses it as a sufficient-fit summary. Flat backend
+  /// reads the incrementally maintained peak upper bound WITHOUT forcing an
+  /// index rebuild, so the call is O(1) and the result is exact after
+  /// reserve-only mutation histories and a sound lower bound (peak never
+  /// understated) after releases, re-tightening on the next indexed query;
+  /// the legacy backend folds the profile (reference path, not
+  /// performance-relevant).
+  [[nodiscard]] double free_fraction() const;
+
+  /// Max capacity-fraction `r` needs in any dimension (+inf when it needs a
+  /// dimension the machine lacks). Public counterpart of the internal scalar
+  /// used by the headroom fast path, exposed for the cell headroom index.
+  [[nodiscard]] double demand_fraction_of(const ResourceVector& r) const {
+    return demand_fraction(r);
+  }
+
   /// Attach (or detach with nullptr) a telemetry collector. Write-only:
   /// recorded hint-hit/probe/booking counts never feed back into any query
   /// result, so observed and unobserved ledgers answer identically.
@@ -205,11 +231,20 @@ class ReservationLedger {
   // which is what keeps prefix blocks exact.
   mutable ArenaVector<ResourceVector> block_max_;
   mutable ArenaVector<ResourceVector> block_min_;
+  /// Whole-profile peak, maintained as a monotone UPPER bound between index
+  /// rebuilds: exact right after ensure_index(); reserve() folds the levels
+  /// it writes (still exact — reserving only raises levels); release() and
+  /// compact_before() leave it stale-high. free_fraction() reads it without
+  /// forcing a rebuild, so its result is a sound lower bound on the true
+  /// guaranteed-free fraction — which is all the cell headroom summary
+  /// needs, and what keeps that summary from re-folding every mutated
+  /// ledger in the cluster (O(segments) each) once per mutation.
   mutable ResourceVector peak_;
   mutable bool index_dirty_ = true;
   /// Lowest segment index whose block may be stale (mutations lower it,
   /// rebuilds reset it past the end).
   mutable std::size_t dirty_from_ = 0;
+  std::uint64_t version_ = 0;  ///< mutation epoch, see version()
 
   std::map<SimTime, ResourceVector> profile_;  // legacy backend storage
 };

@@ -23,6 +23,15 @@ inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::max();
 std::string format_time(SimTime t);
 
 /// Strongly-typed integral id. Tag disambiguates id spaces at compile time.
+///
+/// Capacity audit (the 10k-machine x 10^6-request scale family): the default
+/// Rep = uint32 caps an id space at 2^32-1 (the invalid sentinel). That is
+/// ample for machines (Cluster's constructor checks machine_count fits) and
+/// for the type spaces (services/request types), which are all construction-
+/// time bounded. Per-run unbounded spaces — requests, instances, containers,
+/// engine event generations — use 64-bit Reps below; index arithmetic that
+/// narrows back to 32 bits (engine pool slots, MachineId casts) is guarded at
+/// the narrowing site, not here.
 template <typename Tag, typename Rep = std::uint32_t>
 class StrongId {
  public:

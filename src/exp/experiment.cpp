@@ -1,5 +1,7 @@
 #include "exp/experiment.h"
 
+#include <utility>
+
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "loadgen/generator.h"
@@ -97,12 +99,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const TrialTempl
   const auto pattern = loadgen::WorkloadPattern::make(config.pattern, pattern_params,
                                                       Rng(config.seed).fork("pattern").seed());
   Rng arrival_rng = Rng(config.seed).fork("arrivals");
-  const auto arrivals =
-      loadgen::generate_arrivals(pattern, tpl.mix, arrival_rng, config.qps_scale);
 
   auto scheduler = make_scheduler(config.scheme, config.vmlp, config.seed);
   sched::SimulationDriver driver(application, *scheduler, driver_params);
-  driver.load_arrivals(arrivals);
+  if (config.stream_arrivals) {
+    // `pattern` outlives `driver` in this scope, which is all the stream's
+    // borrowed pattern pointer needs.
+    driver.stream_arrivals(
+        loadgen::ArrivalStream(pattern, tpl.mix, std::move(arrival_rng), config.qps_scale));
+  } else {
+    const auto arrivals =
+        loadgen::generate_arrivals(pattern, tpl.mix, arrival_rng, config.qps_scale);
+    driver.load_arrivals(arrivals);
+  }
 
   ExperimentResult result;
   result.config = config;

@@ -40,6 +40,11 @@ struct ExperimentConfig {
   double high_ratio = 0.5;  ///< used only with StreamKind::kHighRatio
   double qps_scale = 1.0;
   std::uint64_t seed = 1;
+  /// Feed the driver through loadgen::ArrivalStream (O(1) arrival state)
+  /// instead of materializing the arrival vector. Deterministic per config,
+  /// but a distinct mode: event interleaving differs from the bulk path, so
+  /// results are not byte-comparable across the two modes.
+  bool stream_arrivals = false;
   sched::DriverParams driver;
   mlp::VmlpParams vmlp;
   loadgen::PatternParams pattern_params;

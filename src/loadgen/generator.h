@@ -6,6 +6,8 @@
 // mixed stream of Fig. 12, and the high-V_r-ratio sweeps of Fig. 14.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "app/application.h"
@@ -47,6 +49,9 @@ class RequestMix {
 
  private:
   std::vector<MixEntry> entries_;
+  /// Weight column cache: sample() is called once per accepted arrival, and
+  /// rebuilding the weights vector per draw was a per-arrival allocation.
+  std::vector<double> weights_;
 };
 
 /// Quantize a candidate arrival at `t_sec` seconds onto the simulation clock.
@@ -57,9 +62,48 @@ class RequestMix {
 /// here, not silently mis-binned.
 [[nodiscard]] SimTime quantize_arrival(double t_sec, SimTime horizon);
 
+/// Streaming arrival iterator: the thinning loop of generate_arrivals as a
+/// pull-based source, so a 10^6-request scale run schedules arrivals one at a
+/// time (the driver chains each pull off the previous arrival event) and
+/// never materializes the arrival vector. Draw-for-draw identical to the bulk
+/// generator — same candidate walk, same rng draw order — so draining a
+/// stream reproduces generate_arrivals byte-for-byte.
+class ArrivalStream {
+ public:
+  /// `pattern` must outlive the stream; the mix and the rng are captured by
+  /// value so the stream is otherwise self-contained. Rng is a sink parameter
+  /// (pass an rvalue substream); see CommModel.
+  ArrivalStream(const WorkloadPattern& pattern, RequestMix mix, Rng&& rng,
+                double qps_scale = 1.0);
+
+  /// Next accepted arrival in time order; nullopt once the candidate walk
+  /// crosses the horizon (terminal — later calls keep returning nullopt).
+  [[nodiscard]] std::optional<Arrival> next();
+
+  /// Accepted arrivals emitted so far.
+  [[nodiscard]] std::size_t emitted() const { return emitted_; }
+  /// The stream-advanced rng (generate_arrivals writes it back to its caller
+  /// so bulk generation still advances the caller's stream as before).
+  [[nodiscard]] const Rng& rng() const { return rng_; }
+
+ private:
+  const WorkloadPattern* pattern_;
+  RequestMix mix_;
+  Rng rng_;
+  double qps_scale_;
+  double envelope_;     ///< req/s thinning upper bound (peak rate x scale)
+  double horizon_sec_;
+  SimTime horizon_;
+  double t_sec_ = 0.0;  ///< candidate walk position (seconds)
+  bool done_ = false;
+  std::size_t emitted_ = 0;
+};
+
 /// Generate arrivals over the pattern's horizon via thinning. `qps_scale`
 /// proportionally scales the rate curve (the Fig. 12 workload levels).
-/// Result is sorted by time; every time is in [0, horizon).
+/// Result is sorted by time; every time is in [0, horizon). Implemented by
+/// draining an ArrivalStream; the vector grows geometrically (no up-front
+/// expected-count reservation) under an audited envelope-derived bound.
 std::vector<Arrival> generate_arrivals(const WorkloadPattern& pattern, const RequestMix& mix,
                                        Rng& rng, double qps_scale = 1.0);
 

@@ -234,14 +234,23 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage_impl(
   // 0 = untouched, 1 = must probe, 2 = every probe this stage is guaranteed
   // to fail (see quick-rejects below).
   if (fast) {
-    probe_state_.assign(n_machines, 0);
+    // O(1) stage setup: entries are invalidated by bumping the stage epoch,
+    // never by clearing the vectors (see the probe_epoch_ declaration — an
+    // eager O(machines) assign() per stage is the latent cost that
+    // re-couples placements/sec to cluster size). probe_one initializes a
+    // machine's state/refit on first touch of the stage.
+    ++stage_epoch_;
+    if (probe_state_.size() < n_machines) {
+      probe_state_.resize(n_machines, 0);
+      probe_epoch_.resize(n_machines, 0);  // 0 != any stage_epoch_ (it starts at 1)
+      probe_refit_.resize(n_machines, std::numeric_limits<SimTime>::min());
+      probe_desired_.resize(n_machines);
+    }
     // Covering-index hints survive across stages: the ledger validates them
     // against its current profile, and consecutive stages probe each machine
     // at nearby times. Refit bounds do not — they encode this stage's demand
     // and duration.
     if (probe_cover_.size() < n_machines) probe_cover_.resize(n_machines, cluster::kNoCoverHint);
-    probe_refit_.assign(n_machines, std::numeric_limits<SimTime>::min());
-    if (probe_desired_.size() < n_machines) probe_desired_.resize(n_machines);
   }
 
   auto desired_for = [&](MachineId m) {
@@ -261,82 +270,174 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage_impl(
 
   std::size_t& probes = probes_out;
   std::size_t& pruned = pruned_out;
-  for (std::size_t k = 0; k <= params_.plan_search_steps; ++k) {
-    // Tracks whether this pass met any machine that could still admit. Once
-    // every up machine is classified 2 (guaranteed fail), the remaining slip
-    // passes only tick the probe counter — no probe can succeed, no cursor
-    // move, and the stage ends in std::nullopt either way — so the fast path
-    // returns that verdict immediately. Machines cannot change state while a
-    // stage runs (the simulation does not advance inside admit_stage).
-    bool any_probeable = false;
-    for (std::size_t j = 0; j < n_machines; ++j) {
-      // Pruned probes still consume budget: which probe exhausts
-      // max_admit_probes must not depend on the fast path.
-      if (++probes > params_.max_admit_probes) return std::nullopt;
-      const MachineId m(static_cast<std::uint32_t>((cursor_ + j) % n_machines));
-      if (!iface_->cluster().machine(m).up()) continue;  // crash window
-      SimTime desired = 0;
-      std::int8_t* state = nullptr;
-      if (fast) {
-        state = &probe_state_[m.value()];
-        if (*state == 2) {
-          ++pruned;
-          continue;  // counted, and provably would have failed
-        }
-        if (*state == 0) {
-          desired = desired_for(m);
-          probe_desired_[m.value()] = desired;
-        } else {
-          desired = probe_desired_[m.value()];
-        }
-      } else {
-        desired = desired_for(m);
+
+  // One (machine, slip step) probe — the body shared verbatim by the flat
+  // reference scan and the cell-router scan below, so the two orderings can
+  // never drift in per-probe behaviour. kFit leaves the accepted pair in
+  // `result` (cursor bookkeeping is the caller's: flat and cell cursors
+  // update differently); kNoFit may mark the pass probeable; kBudget means
+  // the stage's probe budget is spent.
+  enum class Probe { kFit, kNoFit, kBudget };
+  std::optional<std::pair<MachineId, SimTime>> result;
+  auto probe_one = [&](MachineId m, std::size_t k, bool& any_probeable) {
+    // Pruned probes still consume budget: which probe exhausts
+    // max_admit_probes must not depend on the fast path.
+    if (++probes > params_.max_admit_probes) return Probe::kBudget;
+    if (!iface_->cluster().machine(m).up()) return Probe::kNoFit;  // crash window
+    SimTime desired = 0;
+    std::int8_t* state = nullptr;
+    if (fast) {
+      if (probe_epoch_[m.value()] != stage_epoch_) {
+        // First touch this stage: lazily reset what the eager per-stage
+        // clear used to write for every machine.
+        probe_epoch_[m.value()] = stage_epoch_;
+        probe_state_[m.value()] = 0;
+        probe_refit_[m.value()] = std::numeric_limits<SimTime>::min();
       }
-      const SimTime start = desired + static_cast<SimDuration>(k) * step;
-      if (fast && start < probe_refit_[m.value()]) {
-        // The window still overlaps the blocking run an earlier probe of
-        // this machine hit, so it provably fails (the run's bound holds for
-        // every later-starting window of the same demand and duration).
-        any_probeable = true;  // later slip steps may clear the run
+      state = &probe_state_[m.value()];
+      if (*state == 2) {
         ++pruned;
-        continue;
+        return Probe::kNoFit;  // counted, and provably would have failed
       }
-      std::size_t* cover = fast ? &probe_cover_[m.value()] : nullptr;
-      SimTime* refit = fast ? &probe_refit_[m.value()] : nullptr;
-      if (fits_with_overlay(overlay, m, start, start + slack, demand, cover, refit)) {
-        cursor_ = (m.value() + 1) % n_machines;
-        return std::make_pair(m, start);
+      if (*state == 0) {
+        desired = desired_for(m);
+        probe_desired_[m.value()] = desired;
+      } else {
+        desired = probe_desired_[m.value()];
       }
-      if (state != nullptr && *state == 0) {
-        // First failed probe on this machine: classify it so the slip loop
-        // does not keep paying for probes that provably fail. Classification
-        // is deferred until a failure because a machine whose first probe
-        // succeeds never needs it.
-        const auto& machine = iface_->cluster().machine(m);
-        if (!demand.fits_within(machine.capacity())) {
-          // The bare capacity can never hold the demand; any non-negative
-          // ledger level or overlay only raises the tested usage.
-          *state = 2;
-        } else {
-          // Every start this stage can probe lies in
-          // [desired, desired + steps·step], so every probed window is a
-          // subset of that span plus the slack tail. If even the quietest
-          // level across the whole span cannot host the demand, each
-          // window's max certainly cannot (max ≥ span min, and the exact
-          // test adds the same non-negative demand+overlay on top).
-          // span_could_fit early-exits the span walk on the usual
-          // "machine stays probeable" verdict.
-          const SimTime span_end =
-              desired + static_cast<SimDuration>(params_.plan_search_steps) * step + slack;
-          // The span starts at `desired` == this k=0 probe's start, so the
-          // hint the failed probe just stored is already the span's
-          // covering index.
-          *state = machine.ledger().span_could_fit(desired, span_end, demand, cover) ? 1 : 2;
+    } else {
+      desired = desired_for(m);
+    }
+    const SimTime start = desired + static_cast<SimDuration>(k) * step;
+    if (fast && start < probe_refit_[m.value()]) {
+      // The window still overlaps the blocking run an earlier probe of
+      // this machine hit, so it provably fails (the run's bound holds for
+      // every later-starting window of the same demand and duration).
+      any_probeable = true;  // later slip steps may clear the run
+      ++pruned;
+      return Probe::kNoFit;
+    }
+    std::size_t* cover = fast ? &probe_cover_[m.value()] : nullptr;
+    SimTime* refit = fast ? &probe_refit_[m.value()] : nullptr;
+    if (fits_with_overlay(overlay, m, start, start + slack, demand, cover, refit)) {
+      result = std::make_pair(m, start);
+      return Probe::kFit;
+    }
+    if (state != nullptr && *state == 0) {
+      // First failed probe on this machine: classify it so the slip loop
+      // does not keep paying for probes that provably fail. Classification
+      // is deferred until a failure because a machine whose first probe
+      // succeeds never needs it.
+      const auto& machine = iface_->cluster().machine(m);
+      if (!demand.fits_within(machine.capacity())) {
+        // The bare capacity can never hold the demand; any non-negative
+        // ledger level or overlay only raises the tested usage.
+        *state = 2;
+      } else {
+        // Every start this stage can probe lies in
+        // [desired, desired + steps·step], so every probed window is a
+        // subset of that span plus the slack tail. If even the quietest
+        // level across the whole span cannot host the demand, each
+        // window's max certainly cannot (max ≥ span min, and the exact
+        // test adds the same non-negative demand+overlay on top).
+        // span_could_fit early-exits the span walk on the usual
+        // "machine stays probeable" verdict.
+        const SimTime span_end =
+            desired + static_cast<SimDuration>(params_.plan_search_steps) * step + slack;
+        // The span starts at `desired` == this k=0 probe's start, so the
+        // hint the failed probe just stored is already the span's
+        // covering index.
+        *state = machine.ledger().span_could_fit(desired, span_end, demand, cover) ? 1 : 2;
+      }
+    }
+    if (state == nullptr || *state != 2) any_probeable = true;
+    return Probe::kNoFit;
+  };
+
+  if (!params_.cell_router) {
+    // Pre-topology flat scan — determinism_check claim 7's reference mode.
+    for (std::size_t k = 0; k <= params_.plan_search_steps; ++k) {
+      // Tracks whether this pass met any machine that could still admit. Once
+      // every up machine is classified 2 (guaranteed fail), the remaining slip
+      // passes only tick the probe counter — no probe can succeed, no cursor
+      // move, and the stage ends in std::nullopt either way — so the fast path
+      // returns that verdict immediately. Machines cannot change state while a
+      // stage runs (the simulation does not advance inside admit_stage).
+      bool any_probeable = false;
+      for (std::size_t j = 0; j < n_machines; ++j) {
+        const MachineId m(static_cast<std::uint32_t>((cursor_ + j) % n_machines));
+        switch (probe_one(m, k, any_probeable)) {
+          case Probe::kBudget:
+            return std::nullopt;
+          case Probe::kFit:
+            cursor_ = (m.value() + 1) % n_machines;
+            return result;
+          case Probe::kNoFit:
+            break;
         }
       }
-      if (state == nullptr || *state != 2) any_probeable = true;
+      if (fast && !any_probeable) return std::nullopt;
     }
-    if (fast && !any_probeable) return std::nullopt;
+    return std::nullopt;
+  }
+
+  // Cell-router scan: cells in ranked order (least loaded first), the full
+  // slip window inside one cell before shedding to the next. On a
+  // single-cell topology this is bit-exact to the flat scan: begin = 0,
+  // size = n_machines, and cell_cursor_[0] traces cursor_'s trajectory —
+  // determinism_check claim 7. The work bound per stage is
+  // O(router_max_cells × cell size), independent of cluster size.
+  const auto& clstr = iface_->cluster();
+  const cluster::CellTopology& cells = clstr.cells();
+  const std::size_t n_cells = cells.cell_count();
+  cells.ranked_cells(ranked_cells_);
+  if (cell_cursor_.size() != n_cells) cell_cursor_.assign(n_cells, 0);
+  const std::size_t visit =
+      std::min(n_cells, std::max<std::size_t>(1, params_.router_max_cells));
+  obs::Collector* obs = iface_->observer();
+  if (obs != nullptr && n_cells > 1) obs->count(obs->topology().stages_routed);
+  for (std::size_t ci = 0; ci < visit; ++ci) {
+    const std::size_t cell = ranked_cells_[ci];
+    const std::size_t begin = cells.cell_begin(cell);
+    const std::size_t size = cells.cell_size(cell);
+    std::size_t& cursor = cell_cursor_[cell];
+    // Headroom-index jump (multi-cell only — a single cell must stay
+    // bit-exact to the flat scan): rotate the scan base to the first machine
+    // the per-32-machine summary guarantees can host the demand at every
+    // time. Typically its j = 0 probe admits immediately; if a plan overlay
+    // blocks it, the scan continues from there — same coverage, rotated
+    // order, still a pure function of simulation state.
+    std::size_t base = cursor;
+    if (fast && n_cells > 1) {
+      const double frac = clstr.machine(MachineId(static_cast<std::uint32_t>(begin)))
+                              .ledger()
+                              .demand_fraction_of(demand);
+      const std::size_t cand = cells.first_fit_candidate(clstr, cell, cursor, frac);
+      if (cand != cluster::CellTopology::kNoMachine) {
+        base = cand - begin;
+        if (obs != nullptr) obs->count(obs->topology().index_jumps);
+      }
+    }
+    bool shed = false;  // fast path: cell has no probeable machine left
+    for (std::size_t k = 0; k <= params_.plan_search_steps && !shed; ++k) {
+      bool any_probeable = false;  // see the flat scan's comment
+      for (std::size_t j = 0; j < size; ++j) {
+        const MachineId m(static_cast<std::uint32_t>(begin + (base + j) % size));
+        switch (probe_one(m, k, any_probeable)) {
+          case Probe::kBudget:
+            return std::nullopt;
+          case Probe::kFit:
+            cursor = (m.value() - begin + 1) % size;
+            return result;
+          case Probe::kNoFit:
+            break;
+        }
+      }
+      if (fast && !any_probeable) shed = true;
+    }
+    if (obs != nullptr && n_cells > 1 && ci + 1 < visit) {
+      obs->count(obs->topology().cells_shed);
+    }
   }
   return std::nullopt;
 }

@@ -13,6 +13,7 @@
 // same plan cannot double-book a machine before the plan commits.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -128,6 +129,9 @@ class SelfOrganizing {
   /// skipped probes still count against `max_admit_probes` and are provably
   /// ones that would have failed, so the accepted (machine, start) and the
   /// cursor trajectory are identical to the exhaustive search.
+  /// With `cell_router`, the scan goes cell by cell in the topology's ranked
+  /// order (per-cell cursors, shed on a probeless pass); on a single-cell
+  /// topology the arithmetic degenerates bit-exactly to the flat scan.
   [[nodiscard]] std::optional<std::pair<MachineId, SimTime>> admit_stage(
       const Overlay& overlay, const cluster::ResourceVector& demand, SimDuration slack,
       const std::vector<SimTime>& parent_finish, const std::vector<MachineId>& parent_machine);
@@ -148,7 +152,14 @@ class SelfOrganizing {
   InterfaceLayer* iface_;
   VmlpParams params_;
   Rng rng_;
-  std::size_t cursor_ = 0;  // rotating first-fit start index
+  /// Rotating first-fit start index (cell_router off: flat machine index).
+  std::size_t cursor_ = 0;
+  /// Per-cell rotating cursors (cell-local offsets) for the router path. On
+  /// a single-cell topology cell_cursor_[0] traces exactly the trajectory
+  /// cursor_ would — the claim-7 byte-identity hinge.
+  std::vector<std::size_t> cell_cursor_;
+  /// ranked_cells scratch, reused so routing stays allocation-free.
+  std::vector<std::size_t> ranked_cells_;
   std::size_t plans_committed_ = 0;
   std::size_t plans_deferred_ = 0;
   SimTime last_defer_at_ = -1;
@@ -158,9 +169,21 @@ class SelfOrganizing {
   mutable std::optional<SimDuration> cached_max_slo_;
   mutable std::optional<SimDuration> cached_ref_;
   // admit_stage scratch (sized to the cluster, reused across calls so the
-  // inner planning loop stays allocation-free).
+  // inner planning loop stays allocation-free). Per-stage validity is
+  // tracked by probe_epoch_, NOT by clearing: an eager per-stage
+  // assign() is O(machines) per placement — invisible at 100 machines,
+  // ~9 KB of writes per stage at 1k and ~90 KB at 10k, which silently
+  // re-couples per-placement cost to cluster size after the cell router
+  // decoupled the scan itself. A machine's entry is live only when its
+  // epoch matches the current stage's; probe_one initializes it on first
+  // touch, so stage setup is O(1) and stage cost is O(machines probed).
   std::vector<std::int8_t> probe_state_;
   std::vector<SimTime> probe_desired_;
+  /// Stage stamp per machine: entries of probe_state_/probe_refit_ (and
+  /// probe_desired_, which is only read once state != 0) are valid iff
+  /// probe_epoch_[m] == stage_epoch_.
+  std::vector<std::uint64_t> probe_epoch_;
+  std::uint64_t stage_epoch_ = 0;
   /// Per-machine ledger covering-index cache (kNoCoverHint = untouched).
   /// Valid for one admit_stage call: the ledger is not mutated while a
   /// stage probes, and each machine's probe starts only slip forward.

@@ -1,5 +1,8 @@
 #include "obs/collector.h"
 
+#include <algorithm>
+#include <string>
+
 namespace vmlp::obs {
 
 const char* policy_callback_name(PolicyCallback cb) {
@@ -130,6 +133,26 @@ Collector::Collector(const Params& params) : params_(params), ring_(params.ring_
       r.add_counter("mlp.resources_stretched", "resource-stretch grants to running nodes");
   mlp_.orphans_relocated =
       r.add_counter("mlp.orphans_relocated", "failure orphans re-planned via organize_node");
+
+  topology_.stages_routed =
+      r.add_counter("topology.stages_routed", "admission stages routed through ranked cells");
+  topology_.cells_shed =
+      r.add_counter("topology.cells_shed", "cells abandoned by a stage for the next ranked cell");
+  topology_.index_jumps =
+      r.add_counter("topology.index_jumps", "scan bases rotated by the headroom summary index");
+  topology_.cells_configured =
+      r.add_gauge("topology.cells_configured", "cells in the run's cluster partition");
+  topology_.cell_live_peak =
+      r.add_gauge("topology.cell_live_peak", "peak live placements across the whole cluster");
+  // Bounded per-cell label family; dynamic names pass the same runtime style
+  // check as the literals above (Registry::check_name).
+  const std::size_t cells = std::min(params.topology_cells, kMaxCellGauges);
+  topology_.cell_live.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    topology_.cell_live.push_back(
+        r.add_gauge("topology.cell" + std::to_string(c) + ".live_peak",
+                    "peak live placements in cell " + std::to_string(c)));
+  }
 }
 
 }  // namespace vmlp::obs

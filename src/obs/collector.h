@@ -42,6 +42,11 @@ struct Params {
   /// Host-time policy profiling slices kept for Perfetto export (further
   /// slices are counted as dropped).
   std::size_t max_policy_slices = 1 << 16;
+  /// Cell count of the run's cluster topology: sizes the bounded per-cell
+  /// gauge family (clamped to kMaxCellGauges — per-cell labels, never
+  /// per-machine cardinality). The driver fills this in from its cluster
+  /// before constructing the collector.
+  std::size_t topology_cells = 1;
 };
 
 /// Which scheduler policy callback a host-time profiling slice covers.
@@ -98,12 +103,24 @@ class Collector {
         stages_aligned, probes_spent, probes_pruned, slots_filled, requests_filled,
         resources_stretched, orphans_relocated;
   };
+  struct TopologyMetrics {
+    CounterHandle stages_routed, cells_shed, index_jumps;
+    GaugeHandle cells_configured, cell_live_peak;
+    /// Per-cell live-placement peaks, one gauge per cell up to kMaxCellGauges
+    /// (names topology.cellN.live_peak) — the per-cell label family.
+    std::vector<GaugeHandle> cell_live;
+  };
+
+  /// Per-cell gauge cardinality bound: 10k machines at the auto cell target
+  /// is 40 cells; anything past this exports as the aggregate peak only.
+  static constexpr std::size_t kMaxCellGauges = 64;
 
   [[nodiscard]] const EngineMetrics& engine() const { return engine_; }
   [[nodiscard]] const DriverMetrics& driver() const { return driver_; }
   [[nodiscard]] const FailureMetrics& failure() const { return failure_; }
   [[nodiscard]] const LedgerMetrics& ledger() const { return ledger_; }
   [[nodiscard]] const MlpMetrics& mlp() const { return mlp_; }
+  [[nodiscard]] const TopologyMetrics& topology() const { return topology_; }
 
   // ---- hot recording path (inline; compiled out under VMLP_NO_OBS) -------
 #ifndef VMLP_NO_OBS
@@ -159,6 +176,7 @@ class Collector {
   FailureMetrics failure_;
   LedgerMetrics ledger_;
   MlpMetrics mlp_;
+  TopologyMetrics topology_;
 };
 
 }  // namespace vmlp::obs

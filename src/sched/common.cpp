@@ -1,8 +1,33 @@
 #include "sched/common.h"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 namespace vmlp::sched {
+
+namespace {
+
+/// Baseline scans on a multi-cell topology go cell by cell in the router's
+/// ranked (least-loaded-first) order and stop at the first cell that yields a
+/// candidate — the same bounded-search story as the v-MLP router, so baseline
+/// placement cost also stays O(cell), not O(cluster), as machine count grows.
+/// On a single-cell topology the ranked order is the whole ascending-id range
+/// and every helper is bit-identical to the historical flat scan.
+template <typename PerCell>
+MachineId scan_ranked_cells(const cluster::Cluster& clustr, PerCell&& per_cell) {
+  std::vector<std::size_t> ranked;
+  clustr.cells().ranked_cells(ranked);
+  for (std::size_t cell : ranked) {
+    const std::size_t begin = clustr.cells().cell_begin(cell);
+    const std::size_t end = begin + clustr.cells().cell_size(cell);
+    const MachineId found = per_cell(begin, end);
+    if (found.valid()) return found;
+  }
+  return MachineId::invalid();
+}
+
+}  // namespace
 
 SimDuration estimate_mean_exec(SimulationDriver& driver, const app::RequestType& type,
                                std::size_t node) {
@@ -16,55 +41,69 @@ SimDuration estimate_mean_exec(SimulationDriver& driver, const app::RequestType&
 }
 
 MachineId machine_fewest_containers(const cluster::Cluster& clustr) {
-  MachineId best;
-  std::size_t best_count = 0;
-  for (const auto& m : clustr.machines()) {
-    if (!m.up()) continue;
-    if (!best.valid() || m.container_count() < best_count) {
-      best = m.id();
-      best_count = m.container_count();
+  return scan_ranked_cells(clustr, [&](std::size_t begin, std::size_t end) {
+    MachineId best;
+    std::size_t best_count = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& m = clustr.machine(MachineId(static_cast<std::uint32_t>(i)));
+      if (!m.up()) continue;
+      if (!best.valid() || m.container_count() < best_count) {
+        best = m.id();
+        best_count = m.container_count();
+      }
     }
-  }
-  return best;
+    return best;
+  });
 }
 
 MachineId machine_lowest_utilization(const cluster::Cluster& clustr) {
-  MachineId best;
-  double best_util = 0.0;
-  for (const auto& m : clustr.machines()) {
-    if (!m.up()) continue;
-    const double u = m.utilization_sum();
-    if (!best.valid() || u < best_util) {
-      best = m.id();
-      best_util = u;
+  return scan_ranked_cells(clustr, [&](std::size_t begin, std::size_t end) {
+    MachineId best;
+    double best_util = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& m = clustr.machine(MachineId(static_cast<std::uint32_t>(i)));
+      if (!m.up()) continue;
+      const double u = m.utilization_sum();
+      if (!best.valid() || u < best_util) {
+        best = m.id();
+        best_util = u;
+      }
     }
-  }
-  return best;
+    return best;
+  });
 }
 
 MachineId machine_first_fit(const cluster::Cluster& clustr, SimTime start, SimDuration duration,
                             const cluster::ResourceVector& demand) {
-  for (const auto& m : clustr.machines()) {
-    if (!m.up()) continue;
-    if (m.ledger().fits(start, start + duration, demand)) return m.id();
-  }
-  return MachineId::invalid();
+  return scan_ranked_cells(clustr, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& m = clustr.machine(MachineId(static_cast<std::uint32_t>(i)));
+      if (!m.up()) continue;
+      if (m.ledger().fits(start, start + duration, demand)) return m.id();
+    }
+    return MachineId::invalid();
+  });
 }
 
 MachineId machine_best_fit(const cluster::Cluster& clustr, SimTime start, SimDuration duration,
                            const cluster::ResourceVector& demand) {
-  MachineId best;
-  double best_spare = -1.0;
-  for (const auto& m : clustr.machines()) {
-    if (!m.up()) continue;
-    if (!m.ledger().fits(start, start + duration, demand)) continue;
-    const auto avail = m.ledger().available(start, start + duration);
-    if (avail.cpu > best_spare) {
-      best_spare = avail.cpu;
-      best = m.id();
+  // Multi-cell: best fit *within* the least-loaded cell that fits at all —
+  // cell-local best fit, by design, so the scan stays cell-bounded.
+  return scan_ranked_cells(clustr, [&](std::size_t begin, std::size_t end) {
+    MachineId best;
+    double best_spare = -1.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& m = clustr.machine(MachineId(static_cast<std::uint32_t>(i)));
+      if (!m.up()) continue;
+      if (!m.ledger().fits(start, start + duration, demand)) continue;
+      const auto avail = m.ledger().available(start, start + duration);
+      if (avail.cpu > best_spare) {
+        best_spare = avail.cpu;
+        best = m.id();
+      }
     }
-  }
-  return best;
+    return best;
+  });
 }
 
 }  // namespace vmlp::sched

@@ -72,7 +72,9 @@ SimulationDriver::SimulationDriver(const app::Application& application, ISchedul
     // Telemetry is strictly write-only: the collector never feeds a decision,
     // an RNG draw, or any simulated state, so attaching it cannot perturb the
     // run (determinism_check claim 6 pins this byte-for-byte).
-    obs_ = std::make_unique<obs::Collector>(params_.obs);
+    obs::Params obs_params = params_.obs;
+    obs_params.topology_cells = cluster_.cells().cell_count();
+    obs_ = std::make_unique<obs::Collector>(obs_params);
     engine_.set_observer(obs_.get());
     for (std::size_t m = 0; m < cluster_.machine_count(); ++m) {
       cluster_.machine(MachineId(static_cast<std::uint32_t>(m))).ledger().set_observer(obs_.get());
@@ -115,6 +117,25 @@ void SimulationDriver::load_arrivals(const std::vector<loadgen::Arrival>& arriva
     VMLP_CHECK_MSG(a.time >= 0 && a.time < params_.horizon, "arrival outside horizon");
     engine_.schedule_at(a.time, [this, type = a.type] { on_arrival(type); });
   }
+}
+
+void SimulationDriver::stream_arrivals(loadgen::ArrivalStream stream) {
+  VMLP_CHECK_MSG(!arrival_stream_.has_value(), "stream_arrivals() called twice");
+  VMLP_CHECK_MSG(!ran_, "stream_arrivals() after run()");
+  arrival_stream_.emplace(std::move(stream));
+  schedule_next_stream_arrival();
+}
+
+void SimulationDriver::schedule_next_stream_arrival() {
+  const auto next = arrival_stream_->next();
+  if (!next.has_value()) return;  // stream drained; no more arrival events
+  VMLP_CHECK_MSG(next->time >= 0 && next->time < params_.horizon, "arrival outside horizon");
+  // Chain: pull the successor from inside this arrival's event, so exactly
+  // one un-fired arrival is pending at any moment (O(1) arrival state).
+  engine_.schedule_at(next->time, [this, type = next->type] {
+    schedule_next_stream_arrival();
+    on_arrival(type);
+  });
 }
 
 void SimulationDriver::on_arrival(RequestTypeId type) {
@@ -246,8 +267,10 @@ void SimulationDriver::place(RequestId id, std::size_t node, MachineId machine,
   dn.reserved_end = planned_start + reserve_duration;
   dn.has_reservation = true;
   m.ledger().reserve(dn.reserved_begin, dn.reserved_end, dn.limit);
+  cluster_.cells().note_mutation(machine, m);
   audit_machine_conservation(machine);
   ++counters_.placements;
+  cluster_.cells().add_placement(machine);
 
   const InstanceId iid(next_instance_++);
   dn.instance = iid;
@@ -329,7 +352,9 @@ void SimulationDriver::release_reservation_tail(ActiveRequest& ar, std::size_t n
   if (!dn.has_reservation) return;
   const SimTime lo = std::max(from, dn.reserved_begin);
   if (lo < dn.reserved_end) {
-    cluster_.machine(dn.machine).ledger().release(lo, dn.reserved_end, dn.limit);
+    cluster::Machine& m = cluster_.machine(dn.machine);
+    m.ledger().release(lo, dn.reserved_end, dn.limit);
+    cluster_.cells().note_mutation(dn.machine, m);
   }
   dn.has_reservation = false;
 }
@@ -380,8 +405,10 @@ void SimulationDriver::start_node(RequestId id, std::size_t node) {
     release_reservation_tail(*ar, node, t);
     dn.reserved_begin = t;
     dn.reserved_end = t + dn.reserve_duration;
-    cluster_.machine(dn.machine).ledger().reserve(dn.reserved_begin, dn.reserved_end, dn.limit);
+    cluster::Machine& m = cluster_.machine(dn.machine);
+    m.ledger().reserve(dn.reserved_begin, dn.reserved_end, dn.limit);
     dn.has_reservation = true;
+    cluster_.cells().note_mutation(dn.machine, m);
     audit_machine_conservation(dn.machine);
   }
 
@@ -504,6 +531,7 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
 
   dn.running = false;
   dn.done = true;
+  cluster_.cells().remove_placement(dn.machine);
   for (sim::EventHandle* ev : {&dn.finish_event, &dn.fault_event, &dn.timeout_event}) {
     if (ev->valid()) {
       engine_.cancel(*ev);
@@ -525,11 +553,14 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
   const auto& req_node = ar->runtime.type().nodes()[node];
   const SimTime started = ar->runtime.node(node).started_at;
 
-  // Tracing + profiling (Fig. 8's feedback loop).
-  trace::Span span{id, ar->runtime.type().id(), req_node.service, dn.instance,
-                   dn.machine, started, t};
-  span.node = static_cast<std::uint32_t>(node);
-  tracer_.record_span(span);
+  // Tracing + profiling (Fig. 8's feedback loop). Span retention is optional
+  // (DriverParams::trace_spans) — scale runs shed the per-execution memory.
+  if (params_.trace_spans) {
+    trace::Span span{id, ar->runtime.type().id(), req_node.service, dn.instance,
+                     dn.machine, started, t};
+    span.node = static_cast<std::uint32_t>(node);
+    tracer_.record_span(span);
+  }
   trace::ExecutionCase c;
   c.usage = dn.limit;
   c.machine_load = m.utilization_sum() / 3.0;
@@ -601,6 +632,7 @@ void SimulationDriver::adjust_limit(RequestId id, std::size_t node,
   if (dn.has_reservation && t < dn.reserved_end) {
     m.ledger().release(std::max(t, dn.reserved_begin), dn.reserved_end, dn.limit);
     m.ledger().reserve(std::max(t, dn.reserved_begin), dn.reserved_end, clamped);
+    cluster_.cells().note_mutation(dn.machine, m);
   }
   dn.limit = clamped;
   cluster::Container* c = m.find_container(dn.container);
@@ -627,6 +659,7 @@ void SimulationDriver::unplace(RequestId id, std::size_t node) {
     dn.late_event = {};
   }
   dn.placed = false;
+  cluster_.cells().remove_placement(dn.machine);
   dn.planned_start = -1;
   dn.startable_at = -1;
   dn.reserved_begin = -1;
@@ -793,6 +826,7 @@ void SimulationDriver::fail_running_node(ActiveRequest& ar, std::size_t node) {
 
   dn.running = false;
   dn.placed = false;
+  cluster_.cells().remove_placement(machine);
   dn.planned_start = -1;
   dn.startable_at = -1;
   dn.reserved_begin = -1;
@@ -959,6 +993,15 @@ void SimulationDriver::sync_observability(const RunResult& result) {
   c.set_counter(f.nodes_orphaned, counters_.orphaned_running + counters_.orphaned_pending);
   c.set_counter(f.retries_scheduled, counters_.retries_scheduled);
   c.set_counter(f.retries_dropped, counters_.retries_dropped);
+  // Topology gauges come from the cell counters the driver maintains at the
+  // placed-node transitions; per-cell labels are bounded (kMaxCellGauges).
+  const auto& topo = c.topology();
+  const cluster::CellTopology& cells = cluster_.cells();
+  c.set_gauge(topo.cells_configured, static_cast<double>(cells.cell_count()));
+  c.set_gauge(topo.cell_live_peak, static_cast<double>(cells.live_peak()));
+  for (std::size_t i = 0; i < topo.cell_live.size(); ++i) {
+    c.set_gauge(topo.cell_live[i], static_cast<double>(cells.cell_live_peak(i)));
+  }
   // The engine keeps its own tallies (plain members on the hot paths);
   // publish them into the registry in the same end-of-run sync.
   engine_.flush_observability();

@@ -23,6 +23,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -78,6 +79,11 @@ struct DriverParams {
   std::size_t profile_warmup = 64;
   /// Drop per-machine ledger history every this often (0 = never).
   SimDuration ledger_compact_period = 10 * kSec;
+  /// Record a trace::Span per finished node. Spans are the Fig. 8 tracing
+  /// feedback artifact but cost ~100 B per execution; a 10^6-request scale
+  /// run turns them off to keep RSS bounded (profiles still record — the
+  /// scheduler's feedback loop does not need retained spans).
+  bool trace_spans = true;
   /// Telemetry (metrics registry + decision-event ring + policy profiling).
   /// Strictly write-only for the simulation: enabling it cannot change any
   /// RunResult byte (determinism_check claim 6).
@@ -177,6 +183,14 @@ class SimulationDriver {
 
   /// Queue a pre-generated arrival stream (sorted or not).
   void load_arrivals(const std::vector<loadgen::Arrival>& arrivals);
+  /// Streamed arrival mode: pull arrivals from `stream` one at a time, each
+  /// arrival event chaining the next pull — a 10^6-request scale run keeps
+  /// O(1) arrival state instead of materializing the vector. NOT
+  /// byte-identical to load_arrivals over the drained stream (engine
+  /// sequence numbers interleave differently, so same-timestamp ties can
+  /// order differently); a streamed run is deterministic in itself and
+  /// admits exactly the arrivals the bulk path would.
+  void stream_arrivals(loadgen::ArrivalStream stream);
   /// Run to the horizon and finalize accounting. Returns the result summary.
   RunResult run();
 
@@ -268,6 +282,8 @@ class SimulationDriver {
  private:
   void warmup_profiles();
   void on_arrival(RequestTypeId type);
+  /// Pull the next arrival from arrival_stream_ and schedule it (chained).
+  void schedule_next_stream_arrival();
   void schedule_next_interference();
   void inject_interference();
   void schedule_failures();
@@ -354,6 +370,8 @@ class SimulationDriver {
   /// Host-clock origin for policy-profiling slices (set when run() starts).
   std::chrono::steady_clock::time_point policy_epoch_;
   std::unique_ptr<obs::Collector> obs_;  ///< null when telemetry is off
+  /// Live arrival source in streamed mode (empty in bulk mode).
+  std::optional<loadgen::ArrivalStream> arrival_stream_;
   bool ran_ = false;
 };
 

@@ -33,6 +33,10 @@ std::uint32_t Engine::acquire_slot() {
     return slot;
   }
   pool_.emplace_back();
+  // Slots are 32-bit (packed into the low half of the event id); the pool
+  // only grows to the peak pending-event count, but a bulk-loaded 10^9-event
+  // run would silently wrap the cast without this guard.
+  VMLP_CHECK_MSG(pool_.size() < kNoHeapPos, "event pool exceeds 32-bit slot space");
   return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 

@@ -1,0 +1,39 @@
+// [unordered-escape] fixture: the topology summary-index fold shape —
+// unordered iteration accumulating into an *element of a float vector*
+// (block_free_max_[b] style) leaks insertion order exactly like a scalar
+// accumulator. Element accumulation into an integer vector, and the same
+// fold driven by an ordered container, must stay silent.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vmlp::cluster {
+
+class TopologyFold {
+ public:
+  void fold_block_loads() {
+    for (const auto& entry : machine_load_) {  // VIOLATION: element accumulation
+      block_load_[entry.first % block_load_.size()] += entry.second;
+    }
+  }
+
+  void count_block_members() {
+    for (const auto& entry : machine_load_) {  // int elements: order-safe
+      block_members_[entry.first % block_members_.size()] += 1;
+    }
+  }
+
+  void fold_ordered_cells() {
+    for (const double load : cell_load_) {  // ordered source: fine
+      block_load_[0] += load;
+    }
+  }
+
+ private:
+  std::unordered_map<std::size_t, double> machine_load_;
+  std::vector<double> block_load_;
+  std::vector<double> cell_load_;
+  std::vector<std::uint64_t> block_members_;
+};
+
+}  // namespace vmlp::cluster

@@ -254,5 +254,55 @@ TEST_F(MixTest, GeneratorDeterministic) {
   }
 }
 
+TEST_F(MixTest, StreamDrainMatchesBulkGeneration) {
+  // The streamed iterator is the bulk generator's thinning loop verbatim:
+  // draining it must reproduce generate_arrivals element-for-element, and the
+  // stream's final rng state must equal the state the bulk path writes back.
+  const auto pattern = WorkloadPattern::make(PatternKind::kL2Fluctuating, default_params(), 9);
+  Rng bulk_rng(5);
+  const auto bulk = generate_arrivals(pattern, RequestMix::all(*suite_), bulk_rng, 0.3);
+
+  ArrivalStream stream(pattern, RequestMix::all(*suite_), Rng(5), 0.3);
+  std::vector<Arrival> drained;
+  while (auto a = stream.next()) drained.push_back(*a);
+
+  ASSERT_EQ(drained.size(), bulk.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(drained[i].time, bulk[i].time);
+    EXPECT_EQ(drained[i].type, bulk[i].type);
+  }
+  EXPECT_EQ(stream.emitted(), bulk.size());
+  // The write-back contract: both paths leave the rng in the same state.
+  Rng stream_rng = stream.rng();
+  EXPECT_EQ(stream_rng.next_u64(), bulk_rng.next_u64());
+}
+
+TEST_F(MixTest, StreamIsTerminalAfterHorizon) {
+  const auto pattern = WorkloadPattern::make(PatternKind::kL1Pulse, default_params(), 9);
+  ArrivalStream stream(pattern, RequestMix::all(*suite_), Rng(5), 0.1);
+  while (stream.next().has_value()) {
+  }
+  // Exhausted streams stay exhausted — no rng draws, no resurrection.
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_GT(stream.emitted(), 0u);
+}
+
+TEST_F(MixTest, StreamArrivalsSortedWithinHorizon) {
+  const auto pattern = WorkloadPattern::make(PatternKind::kL3Periodic, default_params(), 9);
+  ArrivalStream stream(pattern, RequestMix::all(*suite_), Rng(7), 0.2);
+  SimTime prev = -1;
+  std::size_t n = 0;
+  while (auto a = stream.next()) {
+    EXPECT_GE(a->time, prev);  // non-decreasing: the candidate walk only moves forward
+    EXPECT_GE(a->time, 0);
+    EXPECT_LT(a->time, default_params().horizon);
+    EXPECT_TRUE(a->type.valid());
+    prev = a->time;
+    ++n;
+  }
+  EXPECT_GT(n, 100u);
+}
+
 }  // namespace
 }  // namespace vmlp::loadgen

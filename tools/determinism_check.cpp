@@ -32,6 +32,14 @@
 //     1, 4 and 8 pool threads, and the merged metrics snapshot itself
 //     (Prometheus text) is byte-stable across thread counts.
 //
+//  7. The cell topology is structurally inert at one cell: v-MLP grids in the
+//     claim-5 shapes produce byte-identical metric streams with the cell
+//     router enabled on a single-cell topology versus the router disabled
+//     (the pre-topology flat scan), at 1, 4 and 8 pool threads — and a
+//     2-cell run genuinely diverges from flat (vacuity guard: the router
+//     must be load-bearing somewhere for "inert at one cell" to mean
+//     anything).
+//
 // Exit status: 0 = deterministic, 1 = divergence (first diff is printed).
 #include <iomanip>
 #include <iostream>
@@ -145,6 +153,18 @@ std::vector<exp::ExperimentConfig> make_fastpath_grid(bool reference) {
       c.pattern_params.peak_time = c.driver.horizon * 2 / 5;
       grid.push_back(c);
     }
+  }
+  return grid;
+}
+
+/// The claim-7 grids: the claim-5 shapes with `cells` cells, the cell router
+/// on or off. (router=false, cells=1) is the historical flat scan; the claim
+/// is that (router=true, cells=1) cannot be told apart from it.
+std::vector<exp::ExperimentConfig> make_topology_grid(bool router, std::size_t cells) {
+  auto grid = make_fastpath_grid(/*reference=*/false);
+  for (auto& c : grid) {
+    c.vmlp.cell_router = router;
+    c.driver.cluster.topology.cells = cells;
   }
   return grid;
 }
@@ -460,6 +480,55 @@ int main() {
                    "threads ("
                 << obs_off_baseline.size() << " bytes; merged snapshot "
                 << obs_metrics_baseline.size() << " bytes)\n";
+    }
+    // --- claim 7: the cell topology is inert at one cell -------------------
+    const auto routed_grid = make_topology_grid(/*router=*/true, /*cells=*/1);
+    const auto flat_grid = make_topology_grid(/*router=*/false, /*cells=*/1);
+    const int failures_before_topology = failures;
+    std::string topology_baseline;
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      std::cout << "running single-cell router vs flat-scan grids at " << threads
+                << " thread(s)..." << std::endl;
+      const std::string routed = run_grid_stream(routed_grid, threads);
+      const std::string flat = run_grid_stream(flat_grid, threads);
+      if (routed != flat) {
+        report_divergence("single-cell router vs flat-scan metric stream (" +
+                              std::to_string(threads) + " threads)",
+                          routed, flat);
+        ++failures;
+      }
+      if (threads == 1) {
+        topology_baseline = routed;
+      } else if (routed != topology_baseline) {
+        report_divergence("single-cell router metric stream (1 vs " + std::to_string(threads) +
+                              " threads)",
+                          topology_baseline, routed);
+        ++failures;
+      }
+    }
+    // Vacuity guards: the grid must place work, and a 2-cell partition must
+    // genuinely change decisions — otherwise "inert at one cell" is trivially
+    // true because the router is inert everywhere.
+    if (topology_baseline.find("placements=0 ") != std::string::npos) {
+      std::cerr << "FAIL: a topology grid cell placed nothing — claim 7 is vacuous\n";
+      ++failures;
+    }
+    std::cout << "running 2-cell router grid (divergence guard)..." << std::endl;
+    const std::string two_cell = run_grid_stream(make_topology_grid(true, 2), 1);
+    const std::string two_cell_repeat = run_grid_stream(make_topology_grid(true, 2), 1);
+    if (two_cell == topology_baseline) {
+      std::cerr << "FAIL: 2-cell router stream identical to flat scan — the router "
+                   "never changed a decision, claim 7 is vacuous\n";
+      ++failures;
+    }
+    if (two_cell != two_cell_repeat) {
+      report_divergence("2-cell router metric stream (repeat)", two_cell, two_cell_repeat);
+      ++failures;
+    }
+    if (failures == failures_before_topology) {
+      std::cout << "OK: single-cell router and flat-scan streams byte-identical across "
+                   "1/4/8 threads ("
+                << topology_baseline.size() << " bytes); 2-cell run diverges and replays\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "FAIL: exception: " << e.what() << '\n';

@@ -23,8 +23,10 @@ need scope structure and variable types, not line patterns:
 
   [unordered-escape] Iteration over an unordered container whose loop body
                      lets the iteration order escape: float accumulation
-                     (+=/-=/*= into a float/double), event scheduling
-                     (schedule_at/_after/_periodic, reschedule), or an export
+                     (+=/-=/*= into a float/double, or into an element of a
+                     float/double vector — the topology summary-index fold
+                     pattern), event scheduling (schedule_at/_after/_periodic,
+                     reschedule), or an export
                      sink (stream <<, write_*/export_* calls). Supersedes
                      vmlp_lint's regex [unordered-iter] rule and its
                      `lint: unordered-ok` waivers: iteration with no escaping
@@ -310,6 +312,9 @@ UNORDERED_DECL = re.compile(
 RNG_VALUE_DECL = re.compile(r"(?<![\w:&])(?:vmlp\s*::\s*)?Rng\s+(\w+)\s*[;={]")
 RNG_ANY_DECL = re.compile(r"(?<![\w:])(?:vmlp\s*::\s*)?Rng\s*[&*]*\s+(\w+)\s*[;={(,)]")
 FLOAT_DECL = re.compile(r"(?<![\w:])(?:double|float)\s+(\w+)\s*[;={]")
+FLOAT_VEC_DECL = re.compile(
+    r"(?:(?:std\s*::\s*)?vector|ArenaVector)\s*<\s*(?:double|float)\s*>\s*&?\s*(\w+)\s*[;={(]"
+)
 COLLECTOR_DECL = re.compile(
     r"(?:(?:vmlp\s*::\s*)?obs\s*::\s*)?Collector\s*\*\s*(\w+)\s*[;={]|"
     r"unique_ptr\s*<\s*(?:vmlp\s*::\s*)?(?:obs\s*::\s*)?Collector\s*>\s+(\w+)\s*[;={]"
@@ -325,6 +330,7 @@ class ModuleDecls:
         self.unordered: set = set()
         self.rng: set = set()  # any Rng variable (value or ref)
         self.floats: set = set()
+        self.float_vectors: set = set()  # vector<double/float> variables
         self.collectors: set = set()
         self.guarded: set = set()  # VMLP_GUARDED_BY-annotated members
         self.arenas: set = set()   # ShardArena variables (lane-owned memory)
@@ -337,6 +343,8 @@ def harvest_decls(clean: str, decls: ModuleDecls) -> None:
         decls.rng.add(m.group(1))
     for m in FLOAT_DECL.finditer(clean):
         decls.floats.add(m.group(1))
+    for m in FLOAT_VEC_DECL.finditer(clean):
+        decls.float_vectors.add(m.group(1))
     for m in COLLECTOR_DECL.finditer(clean):
         decls.collectors.add(m.group(1) or m.group(2))
     for m in GUARDED_DECL.finditer(clean):
@@ -399,6 +407,8 @@ class LibclangOracle:
                 decls.rng.add(name)
             if spelling in ("double", "float", "const double", "const float"):
                 decls.floats.add(name)
+            if re.search(r"\bvector<(?:double|float)[,>]", spelling):
+                decls.float_vectors.add(name)
             if re.search(r"\bvmlp::obs::Collector\b", spelling):
                 decls.collectors.add(name)
         return True
@@ -567,6 +577,9 @@ def check_rng_by_value(ctx, findings):
 RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*([A-Za-z_][\w.\->]*?)\s*\)")
 ITER_FOR = re.compile(r"\bfor\s*\(\s*[^;]*=\s*([A-Za-z_][\w.\->]*)\.(?:begin|cbegin)\s*\(\)")
 FLOAT_ACCUM = re.compile(r"\b(\w+)\s*(?:\+=|-=|\*=)")
+# Accumulation into an element of a float vector (the topology headroom
+# index's block folds are this shape): order-dependent exactly like a scalar.
+FLOAT_VEC_ACCUM = re.compile(r"\b(\w+)\s*\[[^\]]*\]\s*(?:\+=|-=|\*=)")
 EXPORT_SINK = re.compile(r"\b(?:os|out|stream|writer|ss)\s*<<|\b(?:write_|export_|print)\w*\s*\(")
 SCHEDULE_SINK = ENGINE_SCHEDULE_CALL
 
@@ -585,6 +598,11 @@ def check_unordered_escape(ctx, findings):
             for fm in FLOAT_ACCUM.finditer(body):
                 if fm.group(1) in ctx.decls.floats:
                     sinks.append(f"float accumulation into '{fm.group(1)}'")
+                    break
+            for fm in FLOAT_VEC_ACCUM.finditer(body):
+                if fm.group(1) in ctx.decls.float_vectors:
+                    sinks.append(
+                        f"float accumulation into element of '{fm.group(1)}'")
                     break
             if SCHEDULE_SINK.search(body):
                 sinks.append("event scheduling")
