@@ -1,11 +1,15 @@
 // Microbenchmarks (google-benchmark): hot-path substrate costs — the event
-// engine, the reservation ledger, RNG, quantiles, chain-choice sampling, and
-// a full v-MLP planning round.
+// engine, the reservation ledger, the SIMD admission kernels, RNG, quantiles,
+// chain-choice sampling, and a full v-MLP planning round.
 #include <benchmark/benchmark.h>
+
+#include <limits>
+#include <vector>
 
 #include "app/dag.h"
 #include "cluster/reservation.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "sim/engine.h"
 #include "stats/percentile.h"
 #include "trace/profile_store.h"
@@ -98,6 +102,44 @@ void BM_LedgerFitsContended(benchmark::State& state) {
 }
 BENCHMARK(BM_LedgerFitsContended)->Arg(0)->Arg(1);
 
+void BM_LedgerChurn(benchmark::State& state) {
+  // Admission-like interleaving: one reserve + one release, then a burst of
+  // queries — the regime where the lazy index (and, on a SIMD target, SoA
+  // mirror) rebuild cost actually shows. Queries-only benchmarks above hide
+  // it: their profiles go quiescent after warm-up.
+  cluster::ReservationLedger ledger({4000, 16384, 1000}, ledger_backend(state));
+  Rng rng(11);
+  struct Win {
+    SimTime t0, t1;
+    cluster::ResourceVector r;
+  };
+  std::vector<Win> active;
+  SimTime t = 0;
+  for (int i = 0; i < 256; ++i) {
+    const SimTime t0 = rng.uniform_int(0, 100000);
+    const Win w{t0, t0 + rng.uniform_int(1000, 30000), {500, 256, 50}};
+    ledger.reserve(w.t0, w.t1, w.r);
+    active.push_back(w);
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    Win& w = active[next];
+    ledger.release(w.t0, w.t1, w.r);
+    w.t0 = t + rng.uniform_int(0, 100000);
+    w.t1 = w.t0 + rng.uniform_int(1000, 30000);
+    ledger.reserve(w.t0, w.t1, w.r);
+    next = (next + 1) % active.size();
+    for (int q = 0; q < 8; ++q) {
+      const SimTime q0 = t + rng.uniform_int(0, 100000);
+      benchmark::DoNotOptimize(ledger.fits(q0, q0 + 10000, {1500, 512, 100}));
+    }
+    const SimTime s0 = t + rng.uniform_int(0, 100000);
+    benchmark::DoNotOptimize(ledger.span_could_fit(s0, s0 + 20000, {1500, 512, 100}));
+    ++t;
+  }
+}
+BENCHMARK(BM_LedgerChurn)->Arg(0)->Arg(1);
+
 void BM_LedgerEarliestFit(benchmark::State& state) {
   cluster::ReservationLedger ledger({4000, 16384, 1000}, ledger_backend(state));
   Rng rng(8);
@@ -112,6 +154,63 @@ void BM_LedgerEarliestFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LedgerEarliestFit)->Arg(0)->Arg(1);
+
+// SIMD kernel legs run once per dispatch target: Arg = Target enum value
+// (0 scalar, 1 sse2, 2 avx2, 3 neon). Targets the host cannot run (or that a
+// -DVMLP_NO_SIMD build compiled out) are skipped, not failed, so one binary
+// reports whatever its runner can measure. The kernels are called through the
+// table directly — they are pure functions, so no dispatch override is needed
+// and the scalar leg is always a same-binary baseline.
+
+/// Ledger-like plane: levels such that level + add always exceeds the bound —
+/// the saturated admission-storm case where span-fit folds the full range
+/// (no early accept) and find-first scans to the end.
+std::vector<double> saturated_plane(std::size_t n) {
+  std::vector<double> v(n);
+  Rng rng(9);
+  for (double& x : v) x = rng.uniform(55.0, 95.0);
+  return v;
+}
+
+void BM_SimdSpanFit(benchmark::State& state) {
+  const auto target = static_cast<simd::Target>(state.range(0));
+  const simd::KernelTable* k = simd::table_for(target);
+  if (k == nullptr) {
+    state.SkipWithError("dispatch target not reachable on this host/build");
+    return;
+  }
+  constexpr std::size_t kN = 4096;
+  const auto a = saturated_plane(kN);
+  const auto b = saturated_plane(kN);
+  const auto c = saturated_plane(kN);
+  const double add[3] = {50.0, 50.0, 50.0};
+  const double bound[3] = {100.0, 100.0, 100.0};
+  for (auto _ : state) {
+    double m[3];
+    m[0] = m[1] = m[2] = std::numeric_limits<double>::infinity();
+    benchmark::DoNotOptimize(k->span_fit3(a.data(), b.data(), c.data(), kN, add, bound, m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kN));
+}
+BENCHMARK(BM_SimdSpanFit)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SimdBlockRefresh(benchmark::State& state) {
+  // The cell-topology refold: reduce_max1 over one 32-machine block of
+  // cached free fractions (note_mutation's hot loop body).
+  const auto target = static_cast<simd::Target>(state.range(0));
+  const simd::KernelTable* k = simd::table_for(target);
+  if (k == nullptr) {
+    state.SkipWithError("dispatch target not reachable on this host/build");
+    return;
+  }
+  const auto fractions = saturated_plane(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k->reduce_max1(fractions.data(), fractions.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_SimdBlockRefresh)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_RngLognormal(benchmark::State& state) {
   Rng rng(3);

@@ -5,6 +5,7 @@
 
 #include "common/audit.h"
 #include "common/error.h"
+#include "common/simd.h"
 #include "obs/collector.h"
 
 namespace vmlp::cluster {
@@ -141,22 +142,316 @@ void ReservationLedger::ensure_index() const {
   // O(blocks) — noise next to even one partial rebuild.
   const std::size_t first =
       std::min(dirty_from_, segs_.size() - 1) >> kBlockShift;
-  for (std::size_t b = first; b < blocks; ++b) {
-    const std::size_t lo = b << kBlockShift;
-    const std::size_t hi = std::min(segs_.size(), lo + kBlockSize);
-    ResourceVector mx = segs_[lo].level;
-    ResourceVector mn = segs_[lo].level;
-    for (std::size_t i = lo + 1; i < hi; ++i) {
-      mx = mx.max(segs_[i].level);
-      mn = mn.min(segs_[i].level);
+  // Rebuilt blocks invalidate their SoA mirror entries; the next SIMD query
+  // re-copies them (ensure_mirror). Recorded even when the scalar target is
+  // active so a later target switch cannot read a stale block mirror.
+  block_mirror_from_ = std::min(block_mirror_from_, first);
+  mirror_clean_ = false;
+  const simd::KernelTable& kt = simd::kernels();
+  if (kt.target != simd::Target::kScalar) {
+    // One combined pass: sync the segment planes, then vector-fold each stale
+    // block from them, writing the coarse index and its mirror in one go —
+    // so a SIMD-active rebuild costs less than the scalar AoS fold instead of
+    // paying for both it and a later ensure_mirror().
+    rebuild_index_simd(kt, first, blocks);
+  } else {
+    for (std::size_t b = first; b < blocks; ++b) {
+      const std::size_t lo = b << kBlockShift;
+      const std::size_t hi = std::min(segs_.size(), lo + kBlockSize);
+      ResourceVector mx = segs_[lo].level;
+      ResourceVector mn = segs_[lo].level;
+      for (std::size_t i = lo + 1; i < hi; ++i) {
+        mx = mx.max(segs_[i].level);
+        mn = mn.min(segs_[i].level);
+      }
+      block_max_[b] = mx;
+      block_min_[b] = mn;
     }
-    block_max_[b] = mx;
-    block_min_[b] = mn;
   }
   peak_ = block_max_[0];
   for (std::size_t b = 1; b < blocks; ++b) peak_ = peak_.max(block_max_[b]);
   index_dirty_ = false;
   dirty_from_ = segs_.size();
+}
+
+void ReservationLedger::rebuild_index_simd(const simd::KernelTable& k, std::size_t first,
+                                           std::size_t blocks) const {
+  // Segment planes first — the same stale-tail rewrite ensure_mirror() would
+  // perform. Folding each stale block from the contiguous planes with the
+  // reduce kernels is bitwise identical to the scalar AoS fold: min/max over
+  // finite doubles is order-independent, and every lane reduction lands on
+  // the same IEEE value (audit_invariants re-folds scalar-style and checks).
+  const std::size_t n = segs_.size();
+  if (mirror_from_ < n || soa_start_.size() != n) {
+    soa_start_.resize(n);
+    soa_cpu_.resize(n);
+    soa_mem_.resize(n);
+    soa_io_.resize(n);
+    soa_headroom_.resize(n);
+    for (std::size_t i = std::min(mirror_from_, n); i < n; ++i) {
+      const Segment& s = segs_[i];
+      soa_start_[i] = s.start;
+      soa_cpu_[i] = s.level.cpu;
+      soa_mem_[i] = s.level.mem;
+      soa_io_[i] = s.level.io;
+      soa_headroom_[i] = s.headroom;
+    }
+    mirror_from_ = n;
+  }
+  soa_bmax_cpu_.resize(blocks);
+  soa_bmax_mem_.resize(blocks);
+  soa_bmax_io_.resize(blocks);
+  soa_bmin_cpu_.resize(blocks);
+  soa_bmin_mem_.resize(blocks);
+  soa_bmin_io_.resize(blocks);
+  // Blocks below `first` are clean in the coarse index but may carry a stale
+  // mirror from an earlier scalar-active rebuild: copy, don't refold.
+  for (std::size_t b = std::min(block_mirror_from_, first); b < first; ++b) {
+    soa_bmax_cpu_[b] = block_max_[b].cpu;
+    soa_bmax_mem_[b] = block_max_[b].mem;
+    soa_bmax_io_[b] = block_max_[b].io;
+    soa_bmin_cpu_[b] = block_min_[b].cpu;
+    soa_bmin_mem_[b] = block_min_[b].mem;
+    soa_bmin_io_[b] = block_min_[b].io;
+  }
+  for (std::size_t b = first; b < blocks; ++b) {
+    const std::size_t lo = b << kBlockShift;
+    const std::size_t len = std::min(n, lo + kBlockSize) - lo;
+    double mx[3] = {-std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity()};
+    double mn[3] = {std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity()};
+    k.reduce_max3(soa_cpu_.data() + lo, soa_mem_.data() + lo, soa_io_.data() + lo, len, mx);
+    k.reduce_min3(soa_cpu_.data() + lo, soa_mem_.data() + lo, soa_io_.data() + lo, len, mn);
+    block_max_[b] = ResourceVector{mx[0], mx[1], mx[2]};
+    block_min_[b] = ResourceVector{mn[0], mn[1], mn[2]};
+    soa_bmax_cpu_[b] = mx[0];
+    soa_bmax_mem_[b] = mx[1];
+    soa_bmax_io_[b] = mx[2];
+    soa_bmin_cpu_[b] = mn[0];
+    soa_bmin_mem_[b] = mn[1];
+    soa_bmin_io_[b] = mn[2];
+  }
+  block_mirror_from_ = blocks;
+  mirror_clean_ = true;
+}
+
+void ReservationLedger::ensure_mirror() const {
+  if (mirror_clean_) return;  // the one branch a between-mutations query pays
+  // Segment planes: rewrite the stale tail [mirror_from_, n). Entries below
+  // the watermark are bitwise-current — mutations never modify or shift a
+  // segment below the same conservative bound dirty_from_ uses, and they
+  // lower mirror_from_ alongside it.
+  const std::size_t n = segs_.size();
+  if (mirror_from_ < n || soa_start_.size() != n) {
+    soa_start_.resize(n);
+    soa_cpu_.resize(n);
+    soa_mem_.resize(n);
+    soa_io_.resize(n);
+    soa_headroom_.resize(n);
+    for (std::size_t i = std::min(mirror_from_, n); i < n; ++i) {
+      const Segment& s = segs_[i];
+      soa_start_[i] = s.start;
+      soa_cpu_[i] = s.level.cpu;
+      soa_mem_[i] = s.level.mem;
+      soa_io_[i] = s.level.io;
+      soa_headroom_[i] = s.headroom;
+    }
+    mirror_from_ = n;
+  }
+  // Block planes copy from the (already rebuilt — ensure_index is a
+  // precondition) coarse index; ensure_index lowers block_mirror_from_ for
+  // every block it refolds.
+  const std::size_t blocks = block_max_.size();
+  if (block_mirror_from_ < blocks || soa_bmax_cpu_.size() != blocks) {
+    soa_bmax_cpu_.resize(blocks);
+    soa_bmax_mem_.resize(blocks);
+    soa_bmax_io_.resize(blocks);
+    soa_bmin_cpu_.resize(blocks);
+    soa_bmin_mem_.resize(blocks);
+    soa_bmin_io_.resize(blocks);
+    for (std::size_t b = std::min(block_mirror_from_, blocks); b < blocks; ++b) {
+      soa_bmax_cpu_[b] = block_max_[b].cpu;
+      soa_bmax_mem_[b] = block_max_[b].mem;
+      soa_bmax_io_[b] = block_max_[b].io;
+      soa_bmin_cpu_[b] = block_min_[b].cpu;
+      soa_bmin_mem_[b] = block_min_[b].mem;
+      soa_bmin_io_[b] = block_min_[b].io;
+    }
+    block_mirror_from_ = blocks;
+  }
+  mirror_clean_ = true;
+}
+
+std::size_t ReservationLedger::lower_index_soa(std::size_t lo, SimTime t) const {
+  const std::size_t n = soa_start_.size();
+  std::size_t base = lo;  // invariant: soa_start_[base] < t
+  std::size_t step = 1;
+  std::size_t probe = lo + 1;
+  while (probe < n && soa_start_[probe] < t) {
+    base = probe;
+    step <<= 1;
+    probe = lo + step;
+  }
+  const auto first = soa_start_.begin() + static_cast<std::ptrdiff_t>(base + 1);
+  const auto last = soa_start_.begin() + static_cast<std::ptrdiff_t>(std::min(n, probe));
+  return static_cast<std::size_t>(std::lower_bound(first, last, t) - soa_start_.begin());
+}
+
+// The _simd query twins below reproduce the scalar block-walk loops over the
+// SoA planes. Two structural differences, neither visible in any verdict:
+//
+//   * span/extreme folds decompose [lo, hi) — hi = lower_index(t1), found by
+//     galloping out of `lo` — into a leading partial block, whole 32-segment
+//     blocks scanned one *block-mirror* entry each (exactly the blocks the
+//     scalar loop takes via its `(i & 31) == 0 && i + 32 <= size &&
+//     segs_[i+31].start < t1` whole-block branch), and a trailing partial;
+//   * fits never computes hi at all: starts are sorted, so the first
+//     exactly-blocking segment at or after lo decides the verdict with one
+//     `start < t1` compare, and the find-first kernels may overrun the
+//     window by up to a block — any hit out there would start >= t1.
+//
+// Verdict equivalence with the scalar walks is argued case by case at each
+// call site; the common facts are that block_min_/block_max_ hold the exact
+// component-wise min/max of their members (so folding a block entry folds
+// its members) and that min/max folds are order-independent over the finite
+// doubles the audit tier guarantees.
+
+bool ReservationLedger::span_could_fit_simd(const simd::KernelTable& k, std::size_t lo,
+                                            SimTime t1, const ResourceVector& r) const {
+  // Covering-segment fast accept — the scalar loop's opening check and the
+  // common outcome of uncontended probes; it needs no mirrors, so a stale
+  // tail stays unpaid-for until a fold actually has to run.
+  if ((segs_[lo].level + r).fits_within(capacity_)) return true;
+  ensure_mirror();
+  const double add[3] = {r.cpu, r.mem, r.io};
+  const double bound[3] = {capacity_.cpu + kResourceEpsilon, capacity_.mem + kResourceEpsilon,
+                           capacity_.io + kResourceEpsilon};
+  // The scalar loop's per-segment accept chain — cached-headroom shortcut,
+  // then `(running_min + r).fits_within(capacity_)` — never accepts a span
+  // the pure min-fold verdict rejects (a headroom-accepted segment's level
+  // already satisfies the exact compare, and the running min is <= it), so
+  // the kernels need only the exact fold: identical verdicts, fewer ops.
+  const std::size_t hi = lower_index_soa(lo, t1);  // > lo: segs_[lo].start <= t0 < t1
+  const std::size_t head_end = std::min(hi, (lo + kBlockSize - 1) & ~(kBlockSize - 1));
+  const std::size_t body_end = head_end + (((hi - head_end) >> kBlockShift) << kBlockShift);
+  double m[3] = {std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<double>::infinity()};
+  if (k.span_fit3(soa_cpu_.data() + lo, soa_mem_.data() + lo, soa_io_.data() + lo, head_end - lo,
+                  add, bound, m)) {
+    return true;
+  }
+  if (body_end > head_end) {
+    const std::size_t b0 = head_end >> kBlockShift;
+    const std::size_t nb = (body_end - head_end) >> kBlockShift;
+    if (k.span_fit3(soa_bmin_cpu_.data() + b0, soa_bmin_mem_.data() + b0,
+                    soa_bmin_io_.data() + b0, nb, add, bound, m)) {
+      return true;
+    }
+  }
+  return k.span_fit3(soa_cpu_.data() + body_end, soa_mem_.data() + body_end,
+                     soa_io_.data() + body_end, hi - body_end, add, bound, m);
+}
+
+bool ReservationLedger::fits_simd(const simd::KernelTable& k, std::size_t lo, SimTime t1,
+                                  const ResourceVector& r, SimTime* refit_out) const {
+  ensure_mirror();
+  const double add[3] = {r.cpu, r.mem, r.io};
+  const double bound[3] = {capacity_.cpu + kResourceEpsilon, capacity_.mem + kResourceEpsilon,
+                           capacity_.io + kResourceEpsilon};
+  const std::size_t n = segs_.size();
+  const SimTime* starts = soa_start_.data();
+  // Scalar-shaped walk, first blocker decides. The scalar walk's
+  // segment_blocks() is the same predicate: its headroom shortcut only
+  // skips the vector compare for segments that provably pass it. A blocked
+  // *block max* implies a blocked member (its per-dimension argmax), and
+  // vice versa by monotone IEEE add — so a whole in-window block decides by
+  // three plane reads, exactly like the scalar branch.
+  std::size_t bad = kNoSegment;
+  std::size_t i = lo;
+  // Leading partial stretch (to the first block boundary) runs the scalar
+  // per-segment predicate inline — headroom shortcut, exact compare, per
+  // element window exit. Admission windows usually resolve right here, and
+  // for those few-segment scans the kernel-call setup costs more than the
+  // scan; the kernels take over at block granularity where they win.
+  const double frac = demand_fraction(r);
+  const std::size_t lead_end = std::min(n, (lo | (kBlockSize - 1)) + 1);
+  while (i < lead_end && starts[i] < t1 && bad == kNoSegment) {
+    if (frac + kHeadroomSafety > soa_headroom_[i] &&
+        (soa_cpu_[i] + add[0] > bound[0] || soa_mem_[i] + add[1] > bound[1] ||
+         soa_io_[i] + add[2] > bound[2])) {
+      bad = i;
+    } else {
+      ++i;
+    }
+  }
+  while (bad == kNoSegment && i < n && starts[i] < t1) {
+    if ((i & (kBlockSize - 1)) == 0 && i + kBlockSize <= n && starts[i + kBlockSize - 1] < t1) {
+      const std::size_t b = i >> kBlockShift;
+      if (soa_bmax_cpu_[b] + add[0] > bound[0] || soa_bmax_mem_[b] + add[1] > bound[1] ||
+          soa_bmax_io_[b] + add[2] > bound[2]) {
+        if (refit_out == nullptr) return false;  // scalar also skips the descent
+        const std::size_t bj = k.first_blocked3(soa_cpu_.data() + i, soa_mem_.data() + i,
+                                                soa_io_.data() + i, kBlockSize, add, bound);
+        VMLP_CHECK_MSG(bj < kBlockSize, "blocked block max without a blocking member");
+        bad = i + bj;
+        break;
+      }
+      i += kBlockSize;
+    } else {
+      // Rest of this block (or of the profile), scanned without clipping to
+      // t1: a hit is kept only if it starts inside the window, and a miss
+      // advances to the next block boundary where the outer condition
+      // re-clips. At most kBlockSize-1 past-window segments are touched.
+      const std::size_t stretch = std::min(n, (i | (kBlockSize - 1)) + 1) - i;
+      const std::size_t j = k.first_blocked3(soa_cpu_.data() + i, soa_mem_.data() + i,
+                                             soa_io_.data() + i, stretch, add, bound);
+      if (j < stretch) {
+        if (starts[i + j] >= t1) return true;  // first blocker past the window
+        bad = i + j;
+        break;
+      }
+      i += stretch;
+    }
+  }
+  if (bad == kNoSegment) return true;
+  if (refit_out != nullptr) {
+    // blocking_run_end's twin: first exactly-fitting segment after `bad`
+    // bounds the maximal blocking run (scanned to the profile tail, not
+    // just hi — a run may extend past the query window).
+    const std::size_t rest = segs_.size() - (bad + 1);
+    const std::size_t fj = k.first_fit3(soa_cpu_.data() + bad + 1, soa_mem_.data() + bad + 1,
+                                        soa_io_.data() + bad + 1, rest, add, bound);
+    *refit_out = fj < rest ? soa_start_[bad + 1 + fj] : kTimeInfinity;
+  }
+  return false;
+}
+
+ResourceVector ReservationLedger::extreme_usage_simd(const simd::KernelTable& k, std::size_t lo,
+                                                     SimTime t1, bool want_max) const {
+  ensure_mirror();
+  const std::size_t hi = lower_index_soa(lo, t1);
+  const std::size_t head_end = std::min(hi, (lo + kBlockSize - 1) & ~(kBlockSize - 1));
+  const std::size_t body_end = head_end + (((hi - head_end) >> kBlockShift) << kBlockShift);
+  const double init =
+      want_max ? -std::numeric_limits<double>::infinity() : std::numeric_limits<double>::infinity();
+  double m[3] = {init, init, init};
+  const auto fold = want_max ? k.reduce_max3 : k.reduce_min3;
+  fold(soa_cpu_.data() + lo, soa_mem_.data() + lo, soa_io_.data() + lo, head_end - lo, m);
+  if (body_end > head_end) {
+    const std::size_t b0 = head_end >> kBlockShift;
+    const std::size_t nb = (body_end - head_end) >> kBlockShift;
+    if (want_max) {
+      fold(soa_bmax_cpu_.data() + b0, soa_bmax_mem_.data() + b0, soa_bmax_io_.data() + b0, nb, m);
+    } else {
+      fold(soa_bmin_cpu_.data() + b0, soa_bmin_mem_.data() + b0, soa_bmin_io_.data() + b0, nb, m);
+    }
+  }
+  fold(soa_cpu_.data() + body_end, soa_mem_.data() + body_end, soa_io_.data() + body_end,
+       hi - body_end, m);
+  return ResourceVector{m[0], m[1], m[2]};
 }
 
 // --------------------------------------------------------------------------
@@ -210,6 +505,8 @@ void ReservationLedger::reserve(SimTime t0, SimTime t1, const ResourceVector& r)
     coalesce_flat(t0, t1);
     index_dirty_ = true;
     dirty_from_ = std::min(dirty_from_, begin == 0 ? 0 : begin - 1);
+    mirror_from_ = std::min(mirror_from_, dirty_from_);
+    mirror_clean_ = false;
   } else {
     auto begin = split_at(t0);
     auto end = split_at(t1);
@@ -243,6 +540,8 @@ void ReservationLedger::release(SimTime t0, SimTime t1, const ResourceVector& r)
     coalesce_flat(t0, t1);
     index_dirty_ = true;
     dirty_from_ = std::min(dirty_from_, begin == 0 ? 0 : begin - 1);
+    mirror_from_ = std::min(mirror_from_, dirty_from_);
+    mirror_clean_ = false;
   } else {
     auto begin = split_at(t0);
     auto end = split_at(t1);
@@ -268,6 +567,8 @@ void ReservationLedger::compact_before(SimTime t) {
     segs_.erase(segs_.begin(), segs_.begin() + static_cast<std::ptrdiff_t>(cover));
     index_dirty_ = true;
     dirty_from_ = 0;  // the prefix erase shifted every surviving index
+    mirror_from_ = 0;
+    mirror_clean_ = false;
     return;
   }
   auto it = profile_.upper_bound(t);
@@ -312,6 +613,8 @@ ResourceVector ReservationLedger::max_usage(SimTime t0, SimTime t1) const {
   if (backend_ == Backend::kFlat) {
     ensure_index();
     const std::size_t lo = covering_index(t0);
+    const simd::KernelTable& kt = simd::kernels();
+    if (kt.target != simd::Target::kScalar) return extreme_usage_simd(kt, lo, t1, /*want_max=*/true);
     // The window-end bound is checked lazily against segment starts instead
     // of a second binary search: for i >= lo, `segs_[i].start < t1` is
     // exactly `i < lower_index(t1)`, and the fold order is unchanged.
@@ -342,6 +645,8 @@ ResourceVector ReservationLedger::min_usage(SimTime t0, SimTime t1) const {
   if (backend_ == Backend::kFlat) {
     ensure_index();
     const std::size_t lo = covering_index(t0);
+    const simd::KernelTable& kt = simd::kernels();
+    if (kt.target != simd::Target::kScalar) return extreme_usage_simd(kt, lo, t1, /*want_max=*/false);
     ResourceVector m = segs_[lo].level;
     std::size_t i = lo;
     while (i < segs_.size() && segs_[i].start < t1) {
@@ -369,8 +674,10 @@ bool ReservationLedger::span_could_fit(SimTime t0, SimTime t1, const ResourceVec
   if (obs_ != nullptr) obs_->count(obs_->ledger().spans_tested);
   if (backend_ == Backend::kFlat) {
     ensure_index();
-    const double frac = demand_fraction(r);
     const std::size_t lo = hinted_covering_index(t0, cover_hint);
+    const simd::KernelTable& kt = simd::kernels();
+    if (kt.target != simd::Target::kScalar) return span_could_fit_simd(kt, lo, t1, r);
+    const double frac = demand_fraction(r);
     ResourceVector m = segs_[lo].level;
     if ((m + r).fits_within(capacity_)) return true;
     std::size_t i = lo;
@@ -414,8 +721,10 @@ bool ReservationLedger::fits(SimTime t0, SimTime t1, const ResourceVector& r,
     // peak, it fits any window (max_usage <= peak component-wise). The hint
     // is left untouched — it stays valid for the next, later-starting query.
     if ((peak_ + r).fits_within(capacity_)) return true;
-    const double frac = demand_fraction(r);
     const std::size_t lo = hinted_covering_index(t0, cover_hint);
+    const simd::KernelTable& kt = simd::kernels();
+    if (kt.target != simd::Target::kScalar) return fits_simd(kt, lo, t1, r, refit_out);
+    const double frac = demand_fraction(r);
     std::size_t i = lo;
     while (i < segs_.size() && segs_[i].start < t1) {
       if ((i & (kBlockSize - 1)) == 0 && i + kBlockSize <= segs_.size() &&
@@ -534,6 +843,31 @@ void ReservationLedger::audit_invariants() const {
                        "ledger not canonical: duplicate adjacent level at t=" << s.start);
       }
       prev = &s;
+    }
+    // SoA mirror invariant: everything below the watermarks bitwise-equals
+    // the AoS truth. (Entries at or above them are declared stale and get
+    // rewritten by ensure_mirror before any kernel reads them.)
+    const std::size_t mirrored =
+        std::min({mirror_from_, segs_.size(), soa_start_.size()});
+    for (std::size_t i = 0; i < mirrored; ++i) {
+      const Segment& s = segs_[i];
+      VMLP_CHECK_MSG(soa_start_[i] == s.start && soa_cpu_[i] == s.level.cpu &&
+                         soa_mem_[i] == s.level.mem && soa_io_[i] == s.level.io &&
+                         soa_headroom_[i] == s.headroom,
+                     "SoA segment mirror diverged from segments at index " << i);
+    }
+    if (!index_dirty_) {
+      const std::size_t bmirrored =
+          std::min({block_mirror_from_, block_max_.size(), soa_bmax_cpu_.size()});
+      for (std::size_t b = 0; b < bmirrored; ++b) {
+        VMLP_CHECK_MSG(soa_bmax_cpu_[b] == block_max_[b].cpu &&
+                           soa_bmax_mem_[b] == block_max_[b].mem &&
+                           soa_bmax_io_[b] == block_max_[b].io &&
+                           soa_bmin_cpu_[b] == block_min_[b].cpu &&
+                           soa_bmin_mem_[b] == block_min_[b].mem &&
+                           soa_bmin_io_[b] == block_min_[b].io,
+                       "SoA block mirror diverged from the coarse index at block " << b);
+      }
     }
     return;
   }

@@ -40,6 +40,10 @@ namespace vmlp::obs {
 class Collector;
 }
 
+namespace vmlp::simd {
+struct KernelTable;
+}
+
 namespace vmlp::cluster {
 
 /// "No covering-index hint" sentinel for ReservationLedger::fits /
@@ -205,6 +209,37 @@ class ReservationLedger {
   [[nodiscard]] SimTime blocking_run_end(std::size_t first_blocking, const ResourceVector& r,
                                          double frac) const;
 
+  // --- SIMD SoA mirrors (flat backend, simd::enabled() only) -------------
+  /// Bring the SoA mirrors up to date with segs_ and the block index.
+  /// Precondition: ensure_index() already ran (the block mirrors copy from
+  /// block_max_/block_min_). Same lazy-tail discipline as ensure_index:
+  /// mutations only mark `mirror_from_`/ensure_index only lowers
+  /// `block_mirror_from_`, and the stale tail is rewritten here on the next
+  /// SIMD query.
+  void ensure_mirror() const;
+  /// SIMD-active arm of ensure_index(): syncs the segment planes, then folds
+  /// each stale block [first, blocks) from them with the reduce kernels,
+  /// writing block_max_/block_min_ AND the block mirror planes in one pass
+  /// (bitwise-identical to the scalar AoS fold — min/max over finite doubles
+  /// is order-independent). Leaves every mirror current (mirror_clean_).
+  void rebuild_index_simd(const simd::KernelTable& k, std::size_t first,
+                          std::size_t blocks) const;
+  /// lower_index(t) on the contiguous start-time mirror, galloping out of
+  /// `lo` (caller guarantees soa_start_[lo] < t). Query windows usually span
+  /// a handful of segments of a long profile, so doubling from the covering
+  /// index beats a whole-plane binary search.
+  [[nodiscard]] std::size_t lower_index_soa(std::size_t lo, SimTime t) const;
+  /// Vectorized twins of the scalar block-walk query loops, dispatched on the
+  /// caller's one-per-query kernel-table load. Byte-identical verdicts by
+  /// construction — see the bit-exactness argument in common/simd.h and
+  /// DESIGN.md §14.
+  [[nodiscard]] bool span_could_fit_simd(const simd::KernelTable& k, std::size_t lo, SimTime t1,
+                                         const ResourceVector& r) const;
+  [[nodiscard]] bool fits_simd(const simd::KernelTable& k, std::size_t lo, SimTime t1,
+                               const ResourceVector& r, SimTime* refit_out) const;
+  [[nodiscard]] ResourceVector extreme_usage_simd(const simd::KernelTable& k, std::size_t lo,
+                                                  SimTime t1, bool want_max) const;
+
   // --- legacy backend ----------------------------------------------------
   /// Ensure a map key exists exactly at t, splitting the covering segment.
   std::map<SimTime, ResourceVector>::iterator split_at(SimTime t);
@@ -244,6 +279,36 @@ class ReservationLedger {
   /// Lowest segment index whose block may be stale (mutations lower it,
   /// rebuilds reset it past the end).
   mutable std::size_t dirty_from_ = 0;
+  // SoA mirrors of the flat segment vector for the SIMD kernels
+  // (common/simd.h): contiguous start-time, per-resource level, and headroom
+  // planes, plus per-block component planes of block_max_/block_min_. Arena-
+  // backed like segs_; filled lazily by ensure_mirror() and skipped entirely
+  // when the scalar target is active, so a forced-scalar run pays nothing.
+  // Invariant (audited): entries below the corresponding `*_from_` watermark
+  // bitwise-equal the AoS truth — mutations advance the watermarks at the
+  // same sites that advance dirty_from_, and never touch entries below them.
+  mutable ArenaVector<SimTime> soa_start_;
+  mutable ArenaVector<double> soa_cpu_;
+  mutable ArenaVector<double> soa_mem_;
+  mutable ArenaVector<double> soa_io_;
+  mutable ArenaVector<double> soa_headroom_;
+  mutable ArenaVector<double> soa_bmax_cpu_;
+  mutable ArenaVector<double> soa_bmax_mem_;
+  mutable ArenaVector<double> soa_bmax_io_;
+  mutable ArenaVector<double> soa_bmin_cpu_;
+  mutable ArenaVector<double> soa_bmin_mem_;
+  mutable ArenaVector<double> soa_bmin_io_;
+  /// First possibly-stale segment-mirror entry (mutations lower it alongside
+  /// dirty_from_; ensure_mirror resets it past the end).
+  mutable std::size_t mirror_from_ = 0;
+  /// First possibly-stale block-mirror entry. Only ensure_index() invalidates
+  /// it (block summaries change nowhere else), so a scalar-mode rebuild
+  /// still records what a later SIMD query must re-copy.
+  mutable std::size_t block_mirror_from_ = 0;
+  /// True when every mirror plane is fully current — the one branch a SIMD
+  /// query pays between mutations. Cleared wherever a watermark is lowered,
+  /// set by ensure_mirror() after it rewrites the stale tails.
+  mutable bool mirror_clean_ = false;
   std::uint64_t version_ = 0;  ///< mutation epoch, see version()
 
   std::map<SimTime, ResourceVector> profile_;  // legacy backend storage

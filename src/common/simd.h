@@ -1,0 +1,126 @@
+// Portable SIMD layer for the admission kernels: f64 lanes behind one
+// function-pointer table, selected once at startup by runtime dispatch.
+//
+// Scope and contract:
+//
+//  * Four targets — kScalar (always available), kSse2 / kAvx2 (x86 via
+//    intrinsics, 128/256-bit lanes), kNeon (aarch64, 128-bit lanes). The
+//    active table is resolved once from CPUID plus two environment knobs
+//    (VMLP_NO_SIMD forces scalar; VMLP_SIMD_TARGET=scalar|sse2|avx2|neon
+//    pins a specific target, falling back to scalar when the host lacks
+//    it). Building with -DVMLP_NO_SIMD=ON compiles the intrinsic legs out
+//    entirely; only the scalar table remains reachable.
+//
+//  * Every kernel is **bit-identical across targets**. That is a hard
+//    requirement — the reservation ledger's admission verdicts are built on
+//    these folds and tools/determinism_check claims 5/7 compare them
+//    byte-for-byte — and it is achievable because the kernels restrict
+//    themselves to compares, min/max, and per-element IEEE adds:
+//      - min/max folds over finite doubles are order-independent (no
+//        reassociated accumulation anywhere), so lane-parallel folding and
+//        scalar left-folding produce the same bits;
+//      - `x[i] + add <= bound` is evaluated as the same single IEEE add and
+//        ordered compare in every lane width;
+//      - find-first kernels reduce lane hit-masks in index order (lowest
+//        lane wins), so the reported index never depends on lane count.
+//    The only cross-target freedom is *internal*: span_fit3's early-accept
+//    checkpoint cadence varies with lane width, which can change how much
+//    of the fold runs but provably never changes the verdict (a partial min
+//    is >= the full min component-wise, so a checkpoint accept implies the
+//    full-fold accept). tests/test_simd.cpp enforces all of this
+//    differentially against the scalar table on every host-reachable
+//    target.
+//
+//  * Intrinsics and <immintrin.h>/<arm_neon.h> includes are confined to
+//    common/simd*.cpp — tools/vmlp_lint.py (simd-isolation) rejects them
+//    anywhere else, so every consumer goes through this table and inherits
+//    the bit-exactness argument instead of re-deriving it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vmlp::simd {
+
+enum class Target : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+inline constexpr std::size_t kTargetCount = 4;
+
+/// Stable lowercase name ("scalar", "sse2", "avx2", "neon") — the accepted
+/// values of VMLP_SIMD_TARGET.
+const char* target_name(Target t);
+
+/// One dispatch table: every kernel the admission path needs, each taking
+/// plain contiguous arrays (the ledger's SoA mirrors). The three-array
+/// variants fold the cpu/mem/io planes of one logical ResourceVector stream.
+struct KernelTable {
+  Target target;
+
+  /// Component-wise fold of min(m[d], min over x_d[0..n)) into m — m is
+  /// in/out so region-split scans chain folds across head/body/tail calls.
+  /// n == 0 leaves m untouched.
+  void (*reduce_min3)(const double* a, const double* b, const double* c, std::size_t n,
+                      double m[3]);
+  /// Component-wise running-max fold into m (in/out), same contract.
+  void (*reduce_max3)(const double* a, const double* b, const double* c, std::size_t n,
+                      double m[3]);
+  /// Fold mins of [0, n) into m (in/out) with early-accept checkpoints:
+  /// returns true as soon as a partial fold satisfies
+  /// `m[d] + add[d] <= bound[d]` for all d (then m holds that partial
+  /// fold), false after folding everything (then m holds the full-range
+  /// min, reusable by the caller's next region). The *return value* is
+  /// bit-stable across targets regardless of checkpoint cadence; m is only
+  /// target-independent on the false path.
+  bool (*span_fit3)(const double* a, const double* b, const double* c, std::size_t n,
+                    const double add[3], const double bound[3], double m[3]);
+  /// First index i with `x_d[i] + add[d] > bound[d]` in any dimension d
+  /// (an exactly-blocking segment / block max), or n when none.
+  std::size_t (*first_blocked3)(const double* a, const double* b, const double* c, std::size_t n,
+                                const double add[3], const double bound[3]);
+  /// First index i with `x_d[i] + add[d] <= bound[d]` in every dimension d
+  /// (first exactly-fitting segment — the blocking-run end), or n.
+  std::size_t (*first_fit3)(const double* a, const double* b, const double* c, std::size_t n,
+                            const double add[3], const double bound[3]);
+  /// Plain max over x[0..n); -inf when n == 0.
+  double (*reduce_max1)(const double* x, std::size_t n);
+  /// First index i with x[i] >= threshold, or n when none.
+  std::size_t (*first_ge)(const double* x, std::size_t n, double threshold);
+};
+
+/// Does this build + this CPU provide `t`? kScalar is always true; intrinsic
+/// targets are false under -DVMLP_NO_SIMD=ON, on foreign architectures, and
+/// when CPUID lacks the feature.
+bool host_supports(Target t);
+
+/// The table for `t`, or nullptr when !host_supports(t). Used by the
+/// differential tests and kernel benchmarks to compare legs explicitly.
+const KernelTable* table_for(Target t);
+
+/// Pure dispatch-policy function, exposed so the unit test can drive it with
+/// explicit strings: `no_simd_env`/`target_env` stand in for
+/// getenv("VMLP_NO_SIMD") / getenv("VMLP_SIMD_TARGET") (nullptr = unset).
+/// Policy: VMLP_NO_SIMD set to anything but "" or "0" forces kScalar;
+/// otherwise an explicitly named supported target wins (unsupported names
+/// fall back to kScalar, never to a different intrinsic leg); otherwise the
+/// best CPUID-supported target (avx2 > sse2 > neon > scalar).
+Target resolve_target(const char* no_simd_env, const char* target_env);
+
+/// The active table. Resolved once (thread-safe) from the real environment
+/// on first use; afterwards a single atomic load.
+const KernelTable& kernels();
+Target active_target();
+/// True when a non-scalar target is active — the ledger keys its SoA-mirror
+/// work off this, so a forced-scalar run does no mirror maintenance at all.
+bool enabled();
+
+/// Every host-reachable target, kScalar first. The three-way ledger fuzz
+/// and the kernel benchmarks iterate this so coverage adapts to the host.
+std::vector<Target> reachable_targets();
+
+/// Test/bench-only override of the active table (must name a reachable
+/// target). Single-threaded use only — callers flip it around a query or a
+/// timed region and restore the previous active_target(). The store/load
+/// pair is atomic, so a misuse is a logic error, not a data race.
+void set_target_for_testing(Target t);
+
+}  // namespace vmlp::simd

@@ -340,8 +340,10 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage_impl(
         // level across the whole span cannot host the demand, each
         // window's max certainly cannot (max ≥ span min, and the exact
         // test adds the same non-negative demand+overlay on top).
-        // span_could_fit early-exits the span walk on the usual
-        // "machine stays probeable" verdict.
+        // span_could_fit early-exits the span fold on the usual "machine
+        // stays probeable" verdict — via the dispatched SIMD min-fold over
+        // the ledger's SoA mirrors when a vector target is active, with a
+        // verdict byte-identical to the scalar walk (common/simd.h).
         const SimTime span_end =
             desired + static_cast<SimDuration>(params_.plan_search_steps) * step + slack;
         // The span starts at `desired` == this k=0 probe's start, so the
@@ -404,9 +406,11 @@ std::optional<std::pair<MachineId, SimTime>> SelfOrganizing::admit_stage_impl(
     // Headroom-index jump (multi-cell only — a single cell must stay
     // bit-exact to the flat scan): rotate the scan base to the first machine
     // the per-32-machine summary guarantees can host the demand at every
-    // time. Typically its j = 0 probe admits immediately; if a plan overlay
-    // blocks it, the scan continues from there — same coverage, rotated
-    // order, still a pure function of simulation state.
+    // time (a vectorized find-first over the cell's cached free fractions —
+    // see CellTopology::first_fit_candidate). Typically its j = 0 probe
+    // admits immediately; if a plan overlay blocks it, the scan continues
+    // from there — same coverage, rotated order, still a pure function of
+    // simulation state.
     std::size_t base = cursor;
     if (fast && n_cells > 1) {
       const double frac = clstr.machine(MachineId(static_cast<std::uint32_t>(begin)))

@@ -7,8 +7,13 @@
 //   * flat vs legacy-map backend, bit-exact: the two representations mirror
 //     each other's arithmetic order, so every query must agree to the last
 //     ulp (this is what makes the admission fast path decision-invisible);
+//   * flat-scalar vs flat-SIMD, bit-exact on every host-reachable dispatch
+//     target: the vectorized SoA query twins must reproduce the scalar walk
+//     verbatim (the "byte-identical to scalar" half of the SIMD contract —
+//     the legacy comparison above pins the scalar walk itself);
 //   * under the audit layer's structural invariants (canonical form, cached
-//     headroom freshness) on every mutation when auditing is enabled.
+//     headroom freshness, SoA mirror prefixes) on every mutation when
+//     auditing is enabled.
 //
 // Runs under the asan-ubsan preset like every other test binary.
 #include <gtest/gtest.h>
@@ -21,6 +26,7 @@
 #include "cluster/reservation.h"
 #include "cluster/resources.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace vmlp::cluster {
 namespace {
@@ -69,6 +75,46 @@ void expect_bitwise_equal(const ResourceVector& a, const ResourceVector& b, cons
   EXPECT_EQ(a.cpu, b.cpu) << what << " cpu diverged (trial " << trial << " op " << op << ")";
   EXPECT_EQ(a.mem, b.mem) << what << " mem diverged (trial " << trial << " op " << op << ")";
   EXPECT_EQ(a.io, b.io) << what << " io diverged (trial " << trial << " op " << op << ")";
+}
+
+/// Forces a dispatch target for one scope (single-threaded test process).
+class ScopedTarget {
+ public:
+  explicit ScopedTarget(simd::Target t) : prev_(simd::active_target()) {
+    simd::set_target_for_testing(t);
+  }
+  ~ScopedTarget() { simd::set_target_for_testing(prev_); }
+  ScopedTarget(const ScopedTarget&) = delete;
+  ScopedTarget& operator=(const ScopedTarget&) = delete;
+
+ private:
+  simd::Target prev_;
+};
+
+/// One ledger's answers to the full read-side query surface for a window.
+struct QueryShot {
+  ResourceVector max_usage;
+  ResourceVector min_usage;
+  ResourceVector at;
+  ResourceVector avail;
+  bool fit = false;
+  bool span = false;
+  SimTime refit = 0;
+  SimTime earliest = 0;
+};
+
+QueryShot shoot(const ReservationLedger& led, SimTime t0, SimTime t1,
+                const ResourceVector& demand, SimDuration dur) {
+  QueryShot s;
+  s.max_usage = led.max_usage(t0, t1);
+  s.min_usage = led.min_usage(t0, t1);
+  s.at = led.usage_at(t0);
+  s.avail = led.available(t0, t1);
+  s.refit = std::numeric_limits<SimTime>::min();
+  s.fit = led.fits(t0, t1, demand, nullptr, &s.refit);
+  s.span = led.span_could_fit(t0, t1, demand);
+  s.earliest = led.earliest_fit(t0, dur, demand, kHorizon);
+  return s;
 }
 
 TEST(LedgerFuzz, BackendsMatchEachOtherAndBruteForce) {
@@ -190,6 +236,39 @@ TEST(LedgerFuzz, BackendsMatchEachOtherAndBruteForce) {
         EXPECT_LE(flat_probes, legacy_probes)
             << "flat earliest_fit probed more than the reference (trial " << trial << " op "
             << op << ")";
+
+        // Third way: the flat backend re-answers the full query surface under
+        // every host-reachable dispatch target, and each answer must match
+        // the forced-scalar one bit for bit (verdicts, aggregates, AND the
+        // refit bound a failed fits reports). Switching targets mid-process
+        // also exercises the SoA mirror staleness watermarks: a mutation
+        // applied while scalar was active must be visible to the next
+        // vectorized query.
+        const QueryShot ref = [&] {
+          ScopedTarget forced(simd::Target::kScalar);
+          return shoot(flat, t0, t1, demand, dur);
+        }();
+        for (const simd::Target target : simd::reachable_targets()) {
+          if (target == simd::Target::kScalar) continue;
+          ScopedTarget forced(target);
+          const QueryShot got = shoot(flat, t0, t1, demand, dur);
+          const char* leg = simd::target_name(target);
+          expect_bitwise_equal(got.max_usage, ref.max_usage, leg, trial, op);
+          expect_bitwise_equal(got.min_usage, ref.min_usage, leg, trial, op);
+          expect_bitwise_equal(got.at, ref.at, leg, trial, op);
+          expect_bitwise_equal(got.avail, ref.avail, leg, trial, op);
+          EXPECT_EQ(got.fit, ref.fit)
+              << leg << " fits diverged from scalar (trial " << trial << " op " << op << ")";
+          EXPECT_EQ(got.refit, ref.refit)
+              << leg << " refit bound diverged from scalar (trial " << trial << " op " << op
+              << ")";
+          EXPECT_EQ(got.span, ref.span)
+              << leg << " span_could_fit diverged from scalar (trial " << trial << " op " << op
+              << ")";
+          EXPECT_EQ(got.earliest, ref.earliest)
+              << leg << " earliest_fit diverged from scalar (trial " << trial << " op " << op
+              << ")";
+        }
       }
     }
   }

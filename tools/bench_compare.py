@@ -20,6 +20,15 @@ Compares a freshly produced BENCH_core.json against bench/baseline.json:
     perf_harness's median-of-N discipline) exceeds --max-cov (a noisy runner
     proves nothing either way). The CI scaling job pins an 8-vCPU runner
     class, so there the floors actually bind.
+  * per-key gates (--gate KEY=FRACTION, repeatable): FAIL when that exact
+    metric regresses more than FRACTION relative to the baseline. This is
+    how one metric gets a tighter budget than the blanket --fail-threshold
+    (e.g. the forced-scalar sched leg must stay within 5% of its baseline —
+    the scalar path must never pay for the SIMD machinery).
+  * hardware mismatch: when a floored key exists in the baseline and the
+    two runs report different `hardware_concurrency`, the floor verdict is
+    still enforced but a WARNING is printed — a floor chosen on one runner
+    class is not evidence about another.
   * every other shared metric: WARN when it is more than --warn-threshold
     (default 25%) worse, in its natural direction (wall_ms lower-is-better,
     throughput/speedup higher-is-better). Warnings never fail the job —
@@ -92,15 +101,15 @@ def load_metrics(path: Path) -> dict[str, float]:
     return load_doc(path)[0]
 
 
-def parse_floor_arg(spec: str) -> tuple[str, float]:
+def parse_floor_arg(spec: str, flag: str = "--floor") -> tuple[str, float]:
     key, sep, value = spec.partition("=")
     if not sep or not key:
-        print(f"bench_compare: --floor expects key=value, got '{spec}'", file=sys.stderr)
+        print(f"bench_compare: {flag} expects key=value, got '{spec}'", file=sys.stderr)
         sys.exit(2)
     try:
         return key, float(value)
     except ValueError:
-        print(f"bench_compare: --floor value for '{key}' is not a number: '{value}'",
+        print(f"bench_compare: {flag} value for '{key}' is not a number: '{value}'",
               file=sys.stderr)
         sys.exit(2)
 
@@ -148,6 +157,10 @@ def main() -> int:
                              "(repeatable); *.tN.speedup_vs_t1 floors are skipped "
                              "with a warning on runners with fewer than N hardware "
                              "threads or when the family cov exceeds --max-cov")
+    parser.add_argument("--gate", action="append", default=[], metavar="KEY=FRACTION",
+                        help="per-key relative regression gate: FAIL when this exact "
+                             "metric regresses more than FRACTION vs the baseline "
+                             "(repeatable; overrides --fail-threshold for that key)")
     parser.add_argument("--max-cov", type=float, default=0.15,
                         help="max coefficient of variation before a speedup floor "
                              "is skipped as too noisy (default 0.15)")
@@ -157,8 +170,12 @@ def main() -> int:
     for spec in args.floor:
         key, value = parse_floor_arg(spec)
         floors[key] = value
+    gates: dict[str, float] = {}
+    for spec in args.gate:
+        key, value = parse_floor_arg(spec, flag="--gate")
+        gates[key] = value
 
-    base = load_metrics(args.baseline)
+    base, base_hw = load_doc(args.baseline)
     new, new_hw = load_doc(args.new)
 
     failures = 0
@@ -168,6 +185,11 @@ def main() -> int:
     for key in sorted(set(base) | set(new)):
         if key in new and key in floors:
             # Floors bind even for metrics absent from the baseline.
+            if key in base and base_hw is not None and new_hw is not None and base_hw != new_hw:
+                print(f"  {key:<{width}}  WARNING: baseline recorded at "
+                      f"hardware_concurrency={base_hw}, this run has {new_hw} — "
+                      f"the floor verdict may not be comparable across runner classes")
+                warnings += 1
             skip = speedup_floor_skip_reason(key, new, new_hw, args.max_cov)
             if skip is not None:
                 print(f"  {key:<{width}}  new={new[key]:<14.6g} floor {floors[key]:g} "
@@ -190,12 +212,14 @@ def main() -> int:
                   f"(run-quality indicator; not compared)")
             continue
         reg = regression(key, base[key], new[key])
-        gated = any(g in key for g in GATED)
+        per_key = gates.get(key)
+        gated = per_key is not None or any(g in key for g in GATED)
+        threshold = per_key if per_key is not None else args.fail_threshold
         status = "ok"
-        if gated and reg > args.fail_threshold:
+        if gated and reg > threshold:
             status = "FAIL"
             failures += 1
-        elif reg > args.warn_threshold:
+        elif per_key is None and reg > args.warn_threshold:
             status = "warn"
             warnings += 1
         print(f"  {key:<{width}}  base={base[key]:<14.6g} new={new[key]:<14.6g} "

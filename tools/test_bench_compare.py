@@ -156,6 +156,58 @@ class RelativeGateTest(unittest.TestCase):
         self.assertIn("PASS", out)
 
 
+class PerKeyGateTest(unittest.TestCase):
+    def test_gate_tighter_than_blanket_fails(self):
+        # 10% drop on t1 trials: within the blanket 25% gate, but over a 5%
+        # per-key budget.
+        code, out = run_compare(new_doc(**{"trials.t1.trials_per_sec": 12.6}),
+                                ["--gate", "trials.t1.trials_per_sec=0.05"])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", out)
+
+    def test_gate_within_budget_passes(self):
+        code, out = run_compare(new_doc(**{"trials.t1.trials_per_sec": 13.8}),
+                                ["--gate", "trials.t1.trials_per_sec=0.05"])
+        self.assertEqual(code, 0, out)
+
+    def test_gate_is_exact_key_not_substring(self):
+        # The per-key gate must not leak onto other metrics containing the key.
+        code, out = run_compare(new_doc(**{"trials.t4.trials_per_sec": 40.0}),
+                                ["--gate", "trials.t1.trials_per_sec=0.05"])
+        self.assertEqual(code, 0, out)
+
+    def test_bad_gate_spec_is_usage_error(self):
+        code, out = run_compare(new_doc(), ["--gate", "trials.t1.trials_per_sec"])
+        self.assertEqual(code, 2)
+        self.assertIn("--gate", out)
+
+
+class FloorHardwareMismatchTest(unittest.TestCase):
+    def test_mismatch_warns_but_still_enforces(self):
+        base = {"metrics": dict(BASE_METRICS), "hardware_concurrency": 8}
+        code, out = run_compare(new_doc(hw=4), ["--floor", "trials.t4.trials_per_sec=40"],
+                                base_doc=base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("hardware_concurrency=8", out)
+        self.assertIn("WARNING", out)
+
+    def test_mismatch_does_not_mask_floor_failure(self):
+        base = {"metrics": dict(BASE_METRICS), "hardware_concurrency": 8}
+        code, out = run_compare(new_doc(hw=4, **{"trials.t4.trials_per_sec": 30.0}),
+                                ["--floor", "trials.t4.trials_per_sec=40"], base_doc=base)
+        self.assertEqual(code, 1)
+
+    def test_same_hardware_no_warning(self):
+        code, out = run_compare(new_doc(hw=8), ["--floor", "trials.t4.trials_per_sec=40"])
+        self.assertNotIn("hardware_concurrency=8, this run", out)
+
+    def test_floor_key_absent_from_baseline_no_warning(self):
+        code, out = run_compare(new_doc(hw=4, **{"fresh.metric_rate": 10.0}),
+                                ["--floor", "fresh.metric_rate=5"])
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("runner classes", out)
+
+
 class SchemaTest(unittest.TestCase):
     def test_missing_metrics_object_is_usage_error(self):
         code, out = run_compare({"schema": "vmlp-bench-core/v1"}, [])
