@@ -25,12 +25,16 @@
 //                    cross-checked to be decision-identical.
 //   5. obs.*       — telemetry-collection overhead: engine cascade and a
 //                    fig13 scenario with the collector on vs off, reported
-//                    as on/off throughput ratios. bench_compare.py enforces
-//                    an absolute >= 0.95 floor (collection may cost at most
-//                    5%); a -DVMLP_NO_OBS build compiles the recording
-//                    methods away entirely (ratio ~1.0). The scenario pair
-//                    also cross-checks that results are identical with
-//                    collection on or off (claim 6's perf-harness form).
+//                    as on/off throughput ratios, plus the same scenario
+//                    with latency attribution on vs obs-only
+//                    (obs.attribution_wall_ratio — span ledger, critical-
+//                    path extraction, per-band histograms). bench_compare.py
+//                    enforces an absolute >= 0.95 floor on all three ratios
+//                    (collection may cost at most 5%); a -DVMLP_NO_OBS build
+//                    compiles the recording methods away entirely (ratio
+//                    ~1.0). Each pair also cross-checks that results are
+//                    identical instrumented or not (claims 6 and 8 in their
+//                    perf-harness form).
 //   6. scale.*     — multi-cell scale-out probe (OPT-IN: never part of the
 //                    default family set — the legs take minutes). A
 //                    1k-machine auto-partitioned cluster absorbs a >= 1e6-
@@ -42,6 +46,10 @@
 //                    cell (the cell router + headroom index must keep
 //                    per-placement cost flat as machines grow 10x —
 //                    bench_compare's CI floor holds the ratio >= 0.8).
+//                    A traced rerun of the 1k leg (spans + attribution, with
+//                    completed requests released back into the span arena)
+//                    is held to the SAME RSS ceiling: tracing a >= 1e6-
+//                    request stream must not change the run's memory class.
 //                    `scale10k` is the 10k-machine/40-cell leg, gated to the
 //                    nightly/labelled CI run.
 //   7. ledger.*    — SIMD admission-kernel probe: the dispatched span-fit
@@ -575,6 +583,35 @@ int main(int argc, char** argv) {
   metrics.emplace_back("obs.scenario_wall_ratio", scenario_ratio);
   std::fprintf(stderr, "  %.1f ms off, %.1f ms on (%.3fx)\n", scenario_off_sec * 1000.0,
                scenario_on_sec * 1000.0, scenario_ratio);
+
+  // Latency attribution on top of plain collection: span ledger fill,
+  // per-completion critical-path extraction, and the per-band histogram
+  // observes. Same 0.95 floor as the other obs ratios — attribution may cost
+  // at most 5% over an obs-on run — and the same zero-perturbation
+  // cross-check (determinism_check claim 8's perf-harness form).
+  std::fprintf(stderr, "telemetry overhead (attribution)...\n");
+  vmlp::exp::ExperimentConfig attr_config = obs_on_config;
+  attr_config.driver.attribution = true;
+  double attribution_sec = 1e300;
+  std::size_t completed_attr = 0;
+  std::size_t placements_attr = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto start = Clock::now();
+    const auto attr = vmlp::exp::run_experiment(attr_config);
+    attribution_sec = std::min(attribution_sec, elapsed_sec(start));
+    completed_attr = attr.run.completed;
+    placements_attr = attr.run.placements;
+  }
+  if (completed_attr != completed_on || placements_attr != placements_on) {
+    std::cerr << "FAIL: latency attribution perturbed the run (completed "
+              << completed_on << " vs " << completed_attr << ", placements "
+              << placements_on << " vs " << placements_attr << ")\n";
+    return 1;
+  }
+  const double attribution_ratio = scenario_on_sec / attribution_sec;
+  metrics.emplace_back("obs.attribution_wall_ratio", attribution_ratio);
+  std::fprintf(stderr, "  %.1f ms obs-on, %.1f ms with attribution (%.3fx)\n",
+               scenario_on_sec * 1000.0, attribution_sec * 1000.0, attribution_ratio);
   }
 
   // 7. SIMD kernel probe: the dispatched span-fit fold vs the same-binary
@@ -719,6 +756,41 @@ int main(int argc, char** argv) {
                      scalar_run.placements_per_sec,
                      run.placements_per_sec / scalar_run.placements_per_sec);
       }
+
+      // Traced rerun of the 1k leg: spans + latency attribution on, with
+      // completed requests released back into the span arena
+      // (trace_release_completed) so live trace state stays bounded across
+      // the >= 1e6-request stream. Held to the SAME RSS ceiling as the
+      // untraced leg — tracing at scale must not change the run's memory
+      // class — and to result equality (attribution is write-only).
+      std::fprintf(stderr, "scale: traced 1k leg (spans + attribution)...\n");
+      vmlp::exp::ExperimentConfig traced = scale_config(leg.machines, leg.horizon);
+      traced.driver.trace_spans = true;
+      traced.driver.trace_release_completed = true;
+      traced.driver.attribution = true;
+      traced.driver.obs.enabled = true;
+      const ScaleRun traced_run = run_scale(traced);
+      if (traced_run.placements != run.placements ||
+          traced_run.completed != run.completed) {
+        std::cerr << "FAIL: traced scale leg diverged from the untraced leg (placements "
+                  << traced_run.placements << " vs " << run.placements << ", completed "
+                  << traced_run.completed << " vs " << run.completed
+                  << ") — tracing/attribution perturbed the simulation\n";
+        return 1;
+      }
+      const double traced_rss = vm_hwm_mb();
+      if (traced_rss > leg.rss_ceiling_mb) {
+        std::cerr << "FAIL: traced scale leg peak RSS " << traced_rss
+                  << " MB exceeds the " << leg.rss_ceiling_mb
+                  << " MB ceiling — span slots are not being recycled\n";
+        return 1;
+      }
+      metrics.emplace_back("scale.traced_placements_per_sec",
+                           traced_run.placements_per_sec);
+      metrics.emplace_back("scale.trace_rss_mb", traced_rss);
+      std::fprintf(stderr,
+                   "  %.0f placements/sec traced, peak RSS %.0f MB (ceiling %.0f MB)\n",
+                   traced_run.placements_per_sec, traced_rss, leg.rss_ceiling_mb);
     }
   }
 

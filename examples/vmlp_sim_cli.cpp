@@ -23,11 +23,17 @@
 //   arrivals_csv = run_arrivals.csv
 //   metrics_prom = run_metrics.prom   ; Prometheus text snapshot
 //   trace_json = run_trace.json       ; Perfetto/Chrome trace (ui.perfetto.dev)
+//   attribution_report = run_blame.txt ; critical-path p99 blame report
+//
+// [run] attribution = true turns on per-request latency attribution (the
+// `attribution.*` histogram families + critical:true span tags) without
+// writing the report file.
 //
 // The telemetry exports can also be requested on the command line (they
 // override the INI keys):
 //
-//   $ ./vmlp_sim_cli myrun.ini --metrics run_metrics.prom --trace-out run_trace.json
+//   $ ./vmlp_sim_cli myrun.ini --metrics run_metrics.prom --trace-out run_trace.json \
+//       --attribution run_blame.txt
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -75,11 +81,13 @@ int main(int argc, char** argv) {
     Config cfg;
     std::optional<std::string> metrics_path;
     std::optional<std::string> trace_path;
+    std::optional<std::string> attribution_path;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--metrics" || arg == "--trace-out") {
+      if (arg == "--metrics" || arg == "--trace-out" || arg == "--attribution") {
         if (i + 1 >= argc) throw ConfigError(arg + " needs a path argument");
-        (arg == "--metrics" ? metrics_path : trace_path) = argv[++i];
+        (arg == "--metrics" ? metrics_path
+                            : arg == "--trace-out" ? trace_path : attribution_path) = argv[++i];
       } else if (!arg.empty() && arg.front() == '-') {
         throw ConfigError("unknown flag: " + arg);
       } else {
@@ -88,6 +96,7 @@ int main(int argc, char** argv) {
     }
     if (!metrics_path.has_value()) metrics_path = cfg.get("export.metrics_prom");
     if (!trace_path.has_value()) trace_path = cfg.get("export.trace_json");
+    if (!attribution_path.has_value()) attribution_path = cfg.get("export.attribution_report");
 
     exp::ExperimentConfig config;
     config.scheme = parse_scheme(cfg.get_string("run.scheme", "v-MLP"));
@@ -117,9 +126,10 @@ int main(int argc, char** argv) {
     auto scheduler = exp::make_scheduler(config.scheme, config.vmlp, config.seed);
     sched::DriverParams dp = config.driver;
     dp.seed = config.seed;
-    // Telemetry collection is zero-perturbation (claim 6): enabling it for
-    // the exports cannot change the printed result row.
-    dp.obs.enabled = metrics_path.has_value() || trace_path.has_value();
+    // Telemetry collection is zero-perturbation (claims 6 and 8): enabling
+    // it for the exports cannot change the printed result row.
+    dp.attribution = attribution_path.has_value() || cfg.get_bool("run.attribution", false);
+    dp.obs.enabled = metrics_path.has_value() || trace_path.has_value() || dp.attribution;
     const auto pattern = loadgen::WorkloadPattern::make(
         config.pattern, config.pattern_params, Rng(config.seed).fork("pattern").seed());
     loadgen::RequestMix mix = config.stream == exp::StreamKind::kMixed
@@ -151,8 +161,24 @@ int main(int argc, char** argv) {
     if (const auto path = cfg.get("export.spans_json")) {
       trace::SpanExportOptions span_options;
       span_options.machines_per_rack = dp.machines_per_rack;
+      span_options.mark_critical = dp.attribution;
       trace::export_spans_json_file(driver.tracer(), *application, *path, span_options);
       std::cout << "spans written to " << *path << '\n';
+    }
+    if (dp.attribution) {
+      exp::ObsCapture capture;
+      capture.enabled = true;
+      capture.spans = driver.tracer().spans();
+      for (const trace::RequestRecord* rec : driver.tracer().requests()) {
+        capture.request_records.push_back(*rec);
+      }
+      exp::print_attribution_report(capture);
+      if (attribution_path.has_value()) {
+        std::ofstream out(*attribution_path);
+        if (!out) throw ConfigError("cannot open " + *attribution_path);
+        exp::print_attribution_report(capture, out);
+        std::cout << "attribution report written to " << *attribution_path << '\n';
+      }
     }
     if (const auto path = cfg.get("export.requests_csv")) {
       trace::export_requests_csv_file(driver.tracer(), *application, *path);
@@ -175,6 +201,9 @@ int main(int argc, char** argv) {
         capture.decisions = c->events().ordered();
         capture.policy_slices = c->policy_slices();
         capture.spans = driver.tracer().spans();
+        for (const trace::RequestRecord* rec : driver.tracer().requests()) {
+          capture.request_records.push_back(*rec);
+        }
         std::ofstream out(*trace_path);
         if (!out) throw ConfigError("cannot open " + *trace_path);
         exp::write_perfetto_trace(capture, out);

@@ -124,7 +124,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config, const TrialTempl
     result.obs.decisions_dropped = c->events().dropped();
     result.obs.policy_slices = c->policy_slices();
     result.obs.policy_slices_dropped = c->policy_slices_dropped();
-    result.obs.spans = driver.tracer().spans();
+    // A release-on-completion run recycles span slots in place, so the flat
+    // span view no longer exists (Tracer::spans() throws); the capture is
+    // for post-run analysis, which that mode gives up by design.
+    if (!driver_params.trace_release_completed) {
+      result.obs.spans = driver.tracer().spans();
+    }
+    for (const trace::RequestRecord* rec : driver.tracer().requests()) {
+      result.obs.request_records.push_back(*rec);
+    }
   }
   return result;
 }

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.h"
 #include "exp/experiment.h"
 #include "obs/export.h"
 #include "sched/driver.h"
+#include "stats/percentile.h"
+#include "trace/critical_path.h"
 
 namespace vmlp::exp {
 
@@ -107,6 +112,112 @@ std::vector<std::string> failure_cells(const sched::RunResult& r) {
           fmt_ms(r.orphaned_p99_latency_us)};
 }
 
+namespace {
+
+/// Spans of each traced request, grouped from the capture's flat span list
+/// (insertion order preserved within a request — the extractor sorts as it
+/// needs). Keyed by raw request id.
+std::unordered_map<std::uint64_t, std::vector<const trace::Span*>> group_spans(
+    const std::vector<trace::Span>& spans) {
+  std::unordered_map<std::uint64_t, std::vector<const trace::Span*>> by_request;
+  for (const trace::Span& s : spans) by_request[s.request.value()].push_back(&s);
+  return by_request;
+}
+
+}  // namespace
+
+std::vector<std::string> attribution_phase_columns() {
+  // Literal Phase names in trace::Phase declaration order — see header.
+  return {"network", "queue", "exec", "lost_exec", "backoff", "heal"};
+}
+
+void print_attribution_report(const ObsCapture& capture, std::ostream& out) {
+  print_section("latency attribution (critical-path p99 blame)", out);
+  if (!capture.enabled || capture.spans.empty() || capture.request_records.empty()) {
+    out << "(no traced requests captured — run with trace_spans + attribution on)\n";
+    return;
+  }
+
+  const auto by_request = group_spans(capture.spans);
+
+  // Per-request-type accumulation: latency samples plus each completed
+  // request's critical-path decomposition.
+  struct Extracted {
+    double latency = 0.0;
+    std::size_t path_len = 0;
+    std::array<SimDuration, trace::kPhaseCount> totals{};
+  };
+  struct TypeAgg {
+    stats::SampleSet latencies;
+    std::vector<Extracted> requests;
+  };
+  std::map<std::uint64_t, TypeAgg> by_type;  // ordered → stable row order
+
+  for (const trace::RequestRecord& rec : capture.request_records) {
+    if (!rec.finished()) continue;
+    const auto it = by_request.find(rec.id.value());
+    if (it == by_request.end()) continue;
+    const auto path = trace::extract_critical_path(rec, it->second);
+    if (path.steps.empty()) continue;
+    TypeAgg& agg = by_type[rec.type.value()];
+    Extracted ex;
+    ex.latency = static_cast<double>(rec.latency());
+    ex.path_len = path.steps.size();
+    ex.totals = path.totals;
+    agg.latencies.add(ex.latency);
+    agg.requests.push_back(ex);
+  }
+  if (by_type.empty()) {
+    out << "(no completed traced requests)\n";
+    return;
+  }
+
+  const std::vector<std::string> phases = attribution_phase_columns();
+  auto share_table_header = [&phases]() {
+    std::vector<std::string> header = {"request type", "n", "path len"};
+    for (const std::string& p : phases) header.push_back(p);
+    return header;
+  };
+
+  // Mean phase shares over a subset of a type's requests (those with
+  // latency >= floor), plus the subset's mean chain length and the phase
+  // carrying the largest share ("blame").
+  auto aggregate_rows = [&](std::ostream& os, double quantile) {
+    Table table(share_table_header());
+    for (const auto& [type, agg] : by_type) {
+      const double floor = quantile > 0.0 ? agg.latencies.quantile(quantile) : 0.0;
+      std::array<double, trace::kPhaseCount> share_sum{};
+      double path_sum = 0.0;
+      std::size_t n = 0;
+      for (const Extracted& ex : agg.requests) {
+        if (ex.latency < floor || ex.latency <= 0.0) continue;
+        ++n;
+        path_sum += static_cast<double>(ex.path_len);
+        for (std::size_t p = 0; p < trace::kPhaseCount; ++p) {
+          share_sum[p] += static_cast<double>(ex.totals[p]) / ex.latency;
+        }
+      }
+      if (n == 0) continue;
+      std::vector<std::string> cells = {"type" + std::to_string(type), std::to_string(n),
+                                        fmt_double(path_sum / static_cast<double>(n), 1)};
+      std::size_t blame = 0;
+      for (std::size_t p = 0; p < trace::kPhaseCount; ++p) {
+        if (share_sum[p] > share_sum[blame]) blame = p;
+        cells.push_back(fmt_percent(share_sum[p] / static_cast<double>(n)));
+      }
+      cells[cells.size() - trace::kPhaseCount + blame] += " *";
+      table.row(cells);
+    }
+    table.print(os);
+    os << "(* = blame: the phase with the largest mean share of latency)\n";
+  };
+
+  out << "\nmean critical-path phase shares, all completed requests:\n";
+  aggregate_rows(out, 0.0);
+  out << "\np99 tail (requests with latency >= their type's p99):\n";
+  aggregate_rows(out, 0.99);
+}
+
 void write_perfetto_trace(const ObsCapture& capture, std::ostream& out) {
   // Clock-domain separation: simulated-time lanes (spans, decisions) and the
   // host-time policy profile must never share a pid — Perfetto renders each
@@ -115,18 +226,46 @@ void write_perfetto_trace(const ObsCapture& capture, std::ostream& out) {
   constexpr std::uint64_t kSpansPid = 1;
   constexpr std::uint64_t kDecisionsPid = 2;
   constexpr std::uint64_t kHostPid = 3;
+  constexpr std::uint64_t kCriticalPid = 4;
 
   obs::PerfettoWriter writer(out);
   if (capture.enabled) {
+    // Blocking-chain spans across all traced requests: marked critical:true
+    // in the execution lanes and re-emitted on the dedicated pid-4 lane.
+    std::unordered_set<const trace::Span*> critical;
+    if (!capture.request_records.empty() && !capture.spans.empty()) {
+      const auto by_request = group_spans(capture.spans);
+      for (const trace::RequestRecord& rec : capture.request_records) {
+        if (!rec.finished()) continue;
+        const auto it = by_request.find(rec.id.value());
+        if (it == by_request.end()) continue;
+        const auto path = trace::extract_critical_path(rec, it->second);
+        for (const trace::CriticalStep& step : path.steps) critical.insert(step.span);
+      }
+    }
+
     writer.process_name(kSpansPid, "sim: microservice execution");
     for (const trace::Span& s : capture.spans) {
       obs::PerfettoWriter::Args args;
       args.emplace_back("request", std::to_string(s.request.value()));
       args.emplace_back("service", std::to_string(s.service.value()));
       if (s.node != trace::Span::kNoNode) args.emplace_back("node", std::to_string(s.node));
+      if (critical.count(&s) != 0) args.emplace_back("critical", "true");
       writer.complete(kSpansPid, static_cast<std::uint64_t>(s.machine.value()) + 1, "exec",
                       "svc" + std::to_string(s.service.value()),
                       static_cast<double>(s.start), static_cast<double>(s.duration()), args);
+    }
+    if (!critical.empty()) {
+      writer.process_name(kCriticalPid, "sim: critical path");
+      for (const trace::Span& s : capture.spans) {
+        if (critical.count(&s) == 0) continue;
+        obs::PerfettoWriter::Args args;
+        args.emplace_back("request", std::to_string(s.request.value()));
+        args.emplace_back("critical", "true");
+        writer.complete(kCriticalPid, static_cast<std::uint64_t>(s.machine.value()) + 1,
+                        "critical", "svc" + std::to_string(s.service.value()),
+                        static_cast<double>(s.start), static_cast<double>(s.duration()), args);
+      }
     }
     obs::write_decision_events(writer, capture.decisions, kDecisionsPid);
     obs::write_policy_slices(writer, capture.policy_slices, kHostPid);

@@ -57,12 +57,29 @@ std::vector<std::string> failure_table_header();
 /// One run's failure metrics formatted for a Table row.
 std::vector<std::string> failure_cells(const sched::RunResult& r);
 
+/// Column titles for the attribution blame tables, one per trace::Phase in
+/// declaration order. Spelled as literals (not via trace::phase_name) so
+/// tools/vmlp_lint.py can statically prove every Phase has a report column;
+/// tests/test_critical_path.cpp pins the literals against phase_name().
+std::vector<std::string> attribution_phase_columns();
+
+/// Print the per-request-class latency attribution report: for each request
+/// type with completed traced requests, the mean critical-path phase shares
+/// over all requests and over the p99 tail (latency >= the type's p99), the
+/// mean blocking-chain length, and the tail's dominant ("blame") phase.
+/// Needs capture.spans + capture.request_records (run with trace_spans on);
+/// prints a note and returns when either is missing.
+void print_attribution_report(const ObsCapture& capture, std::ostream& out = std::cout);
+
 /// Write one instrumented run's telemetry as Chrome trace-event JSON that
 /// ui.perfetto.dev loads directly. Two clock domains on separate pids:
 ///  * pid 1 — microservice execution lanes (one thread per machine) and
 ///    pid 2 — scheduler decision instants, both on *simulated* time;
 ///  * pid 3 — policy-callback profiling slices on *host* time (nanoseconds
-///    since the run's policy epoch).
+///    since the run's policy epoch);
+///  * pid 4 — the critical-path lane: each traced request's blocking chain
+///    re-emitted on its machines' rows, every slice tagged critical:true
+///    (present only when request records were captured).
 /// No-op (empty valid trace) when the capture is disabled.
 void write_perfetto_trace(const ObsCapture& capture, std::ostream& out);
 

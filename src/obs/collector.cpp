@@ -153,6 +153,36 @@ Collector::Collector(const Params& params) : params_(params), ring_(params.ring_
         r.add_gauge("topology.cell" + std::to_string(c) + ".live_peak",
                     "peak live placements in cell " + std::to_string(c)));
   }
+
+  // Latency-attribution families: one per volatility band, in
+  // app::VolatilityBand declaration order. Phase suffixes follow
+  // trace::Phase declaration order (trace/critical_path.h); the recording
+  // site static_asserts the counts match.
+  static constexpr const char* kBandNames[AttributionMetrics::kBands] = {"low", "mid", "high"};
+  static constexpr const char* kPhaseSuffixes[AttributionMetrics::kPhases] = {
+      "network", "queue", "exec", "lost_exec", "backoff", "heal"};
+  const std::vector<double> share_bounds = {0.02, 0.05, 0.1, 0.2, 0.3,
+                                            0.5,  0.7,  0.85, 0.95, 1.0};
+  const std::vector<double> path_len_bounds = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+  for (std::size_t b = 0; b < AttributionMetrics::kBands; ++b) {
+    const std::string prefix = std::string("attribution.") + kBandNames[b] + ".";
+    auto& bm = attribution_.band[b];
+    for (std::size_t p = 0; p < AttributionMetrics::kPhases; ++p) {
+      bm.phase_share[p] = r.add_histogram(
+          prefix + kPhaseSuffixes[p] + "_share",
+          std::string(kPhaseSuffixes[p]) + " phase share of end-to-end latency (" +
+              kBandNames[b] + "-volatility requests)",
+          share_bounds);
+    }
+    bm.path_len = r.add_histogram(prefix + "path_len",
+                                  "critical-path length in microservice nodes (" +
+                                      std::string(kBandNames[b]) + "-volatility requests)",
+                                  path_len_bounds);
+    bm.off_path_slack_us = r.add_histogram(
+        prefix + "off_path_slack_us",
+        "slack of off-critical-path stages before they would delay a consumer (simulated us)",
+        latency_bounds_us());
+  }
 }
 
 }  // namespace vmlp::obs

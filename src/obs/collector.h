@@ -21,6 +21,7 @@
 //    build gated by the obs_overhead bench family.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -110,6 +111,23 @@ class Collector {
     /// (names topology.cellN.live_peak) — the per-cell label family.
     std::vector<GaugeHandle> cell_live;
   };
+  /// Per-request latency attribution (DriverParams::attribution): one family
+  /// per volatility band (attribution.low.*, attribution.mid.*,
+  /// attribution.high.*), each with a share-of-latency histogram per
+  /// trace::Phase plus critical-path length and off-path slack. Fed at
+  /// request completion by the driver's critical-path pass.
+  struct AttributionMetrics {
+    /// Mirrors trace::kPhaseCount in trace::Phase declaration order —
+    /// static_assert'd at the single recording site (sched/driver.cpp).
+    static constexpr std::size_t kPhases = 6;
+    static constexpr std::size_t kBands = 3;  ///< app::VolatilityBand order
+    struct BandMetrics {
+      std::array<HistogramHandle, kPhases> phase_share;  ///< fraction of latency
+      HistogramHandle path_len;                          ///< blocking-chain node count
+      HistogramHandle off_path_slack_us;                 ///< slack of non-critical stages
+    };
+    std::array<BandMetrics, kBands> band;
+  };
 
   /// Per-cell gauge cardinality bound: 10k machines at the auto cell target
   /// is 40 cells; anything past this exports as the aggregate peak only.
@@ -121,6 +139,7 @@ class Collector {
   [[nodiscard]] const LedgerMetrics& ledger() const { return ledger_; }
   [[nodiscard]] const MlpMetrics& mlp() const { return mlp_; }
   [[nodiscard]] const TopologyMetrics& topology() const { return topology_; }
+  [[nodiscard]] const AttributionMetrics& attribution() const { return attribution_; }
 
   // ---- hot recording path (inline; compiled out under VMLP_NO_OBS) -------
 #ifndef VMLP_NO_OBS
@@ -177,6 +196,7 @@ class Collector {
   LedgerMetrics ledger_;
   MlpMetrics mlp_;
   TopologyMetrics topology_;
+  AttributionMetrics attribution_;
 };
 
 }  // namespace vmlp::obs

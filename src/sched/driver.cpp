@@ -113,6 +113,15 @@ void SimulationDriver::load_arrivals(const std::vector<loadgen::Arrival>& arriva
   // the growth doublings up front (and inside the shard arena when bound)
   // instead of spread across the first half of the run.
   engine_.reserve(arrivals.size() + arrivals.size() / 4 + 64);
+  if (params_.trace_spans && !params_.trace_release_completed) {
+    // Same idea for span slots: one span per executed node, estimated from
+    // the suite's mean DAG width. Release mode stays small by recycling.
+    std::size_t node_sum = 0;
+    for (const auto& rt : app_.requests()) node_sum += rt.size();
+    if (app_.request_count() > 0) {
+      tracer_.reserve(arrivals.size() * (node_sum / app_.request_count() + 1));
+    }
+  }
   for (const auto& a : arrivals) {
     VMLP_CHECK_MSG(a.time >= 0 && a.time < params_.horizon, "arrival outside horizon");
     engine_.schedule_at(a.time, [this, type = a.type] { on_arrival(type); });
@@ -276,18 +285,36 @@ void SimulationDriver::place(RequestId id, std::size_t node, MachineId machine,
   dn.instance = iid;
   ar->runtime.mark_placed(node, machine, iid, planned_start);
 
+  // Attribution ledger: a re-placement closes the open heal interval (time
+  // since the placement was lost / the retry backoff elapsed).
+  if (params_.trace_spans && dn.heal_from >= 0) {
+    if (engine_.now() > dn.heal_from) {
+      dn.phase_segs.push_back(PhaseSeg{trace::Phase::kHeal, dn.heal_from, engine_.now()});
+    }
+    dn.heal_from = -1;
+  }
+
   const bool is_root = ar->runtime.type().dag().parents(node).empty();
   const bool deps_met = ar->runtime.node(node).pending_parents == 0;
 
   if (is_root) {
     // Ingress hop: request handler -> first microservice.
     dn.startable_at = ar->runtime.arrival() + comm_.sample_delay(net::Distance::kSameRack);
+    dn.blocking_parent = trace::Span::kNoNode;
   } else if (deps_met) {
     SimTime startable = 0;
-    for (const auto& [pm, pt] : dn.parent_msgs) {
-      startable = std::max(startable, pt + comm_.sample_delay(pm, machine));
+    std::uint32_t blocking = trace::Span::kNoNode;
+    for (const auto& msg : dn.parent_msgs) {
+      const SimTime arrived = msg.finish + comm_.sample_delay(msg.machine, machine);
+      // Blocking edge: latest message arrival, ties to the lower parent
+      // index (the deterministic convention shared with trace/export).
+      if (arrived > startable || (arrived == startable && msg.parent < blocking)) {
+        startable = arrived;
+        blocking = msg.parent;
+      }
     }
     dn.startable_at = startable;
+    dn.blocking_parent = blocking;
   }
 
   schedule_start_attempt(*ar, node);
@@ -559,6 +586,23 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
     trace::Span span{id, ar->runtime.type().id(), req_node.service, dn.instance,
                      dn.machine, started, t};
     span.node = static_cast<std::uint32_t>(node);
+    // Attribution ledger: the final wait window is [startable_at, started];
+    // failure intervals from earlier attempts are clipped into it so the
+    // span's phases telescope exactly (queue time is the residual — see
+    // trace/critical_path.h for the identity this preserves).
+    span.startable_at = dn.startable_at;
+    span.blocking_parent = dn.blocking_parent;
+    for (const PhaseSeg& seg : dn.phase_segs) {
+      const SimTime lo = std::max(seg.begin, dn.startable_at);
+      const SimTime hi = std::min(seg.end, started);
+      if (hi <= lo) continue;
+      switch (seg.kind) {
+        case trace::Phase::kLostExec: span.lost_exec_us += hi - lo; break;
+        case trace::Phase::kBackoff: span.backoff_us += hi - lo; break;
+        case trace::Phase::kHeal: span.heal_us += hi - lo; break;
+        default: break;
+      }
+    }
     tracer_.record_span(span);
   }
   trace::ExecutionCase c;
@@ -570,7 +614,8 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
   const auto children = ar->runtime.type().dag().children(node);
   const auto unblocked = ar->runtime.mark_done(node, t);
   for (std::size_t child : children) {
-    ar->nodes[child].parent_msgs.emplace_back(dn.machine, t);
+    ar->nodes[child].parent_msgs.push_back(
+        ParentMsg{static_cast<std::uint32_t>(node), dn.machine, t});
   }
   for (std::size_t child : unblocked) {
     handle_parent_finished(*ar, child, dn.machine, t);
@@ -587,6 +632,7 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
     if (obs_ != nullptr) {
       obs_->observe(obs_->driver().latency_us, static_cast<double>(t - ar->runtime.arrival()));
     }
+    if (params_.attribution && params_.trace_spans) attribute_request(*ar, id);
     if (ar->degraded) orphaned_latencies_.add(static_cast<double>(t - ar->runtime.arrival()));
     ++completed_;
     {
@@ -595,7 +641,48 @@ void SimulationDriver::finish_node(RequestId id, std::size_t node) {
       scheduler_.on_request_finished(id);
     }
     requests_.erase(id);
+    if (params_.trace_release_completed) tracer_.release_request(id);
   }
+}
+
+void SimulationDriver::attribute_request(const ActiveRequest& ar, RequestId id) {
+  // Write-only analysis over the already-recorded spans: nothing below may
+  // touch simulated state, RNG streams, or scheduler-visible data — that is
+  // what keeps attribution on/off byte-identical (determinism_check claim 8).
+#ifdef VMLP_NO_OBS
+  // With telemetry compiled out the extraction has no sink; keep only the
+  // audit-tier exactness check.
+  if (!audit::enabled()) return;
+#else
+  if (obs_ == nullptr && !audit::enabled()) return;
+#endif
+  const trace::RequestRecord* rec = tracer_.find_request(id);
+  VMLP_CHECK_MSG(rec != nullptr && rec->finished(), "attribution before completion");
+  const app::Dag& dag = ar.runtime.type().dag();
+  const auto path = trace::extract_critical_path(*rec, tracer_.spans_of(id), &dag);
+  // The acceptance identity: phases along the blocking chain telescope to
+  // the end-to-end latency, exactly, in simulated time.
+  VMLP_AUDIT_ASSERT(path.phase_sum() == rec->latency(),
+                    "critical-path phases sum to " << path.phase_sum() << "us but request "
+                                                   << id.value() << " took " << rec->latency()
+                                                   << "us end to end");
+#ifndef VMLP_NO_OBS
+  if (obs_ == nullptr) return;
+  static_assert(trace::kPhaseCount == obs::Collector::AttributionMetrics::kPhases,
+                "attribution metric families must cover every trace::Phase");
+  const auto band = app_.band(ar.runtime.type().id());
+  const auto& bm = obs_->attribution().band[static_cast<std::size_t>(band)];
+  const auto latency = static_cast<double>(rec->latency());
+  if (latency > 0.0) {
+    for (std::size_t p = 0; p < trace::kPhaseCount; ++p) {
+      obs_->observe(bm.phase_share[p], static_cast<double>(path.totals[p]) / latency);
+    }
+  }
+  obs_->observe(bm.path_len, static_cast<double>(path.steps.size()));
+  for (const auto& off : path.off_path) {
+    obs_->observe(bm.off_path_slack_us, static_cast<double>(off.slack));
+  }
+#endif
 }
 
 void SimulationDriver::handle_parent_finished(ActiveRequest& ar, std::size_t child,
@@ -604,10 +691,16 @@ void SimulationDriver::handle_parent_finished(ActiveRequest& ar, std::size_t chi
   VMLP_CHECK(ar.runtime.node(child).pending_parents == 0);
   if (dn.placed) {
     SimTime startable = 0;
-    for (const auto& [pm, pt] : dn.parent_msgs) {
-      startable = std::max(startable, pt + comm_.sample_delay(pm, dn.machine));
+    std::uint32_t blocking = trace::Span::kNoNode;
+    for (const auto& msg : dn.parent_msgs) {
+      const SimTime arrived = msg.finish + comm_.sample_delay(msg.machine, dn.machine);
+      if (arrived > startable || (arrived == startable && msg.parent < blocking)) {
+        startable = arrived;
+        blocking = msg.parent;
+      }
     }
     dn.startable_at = startable;
+    dn.blocking_parent = blocking;
     schedule_start_attempt(ar, child);
   } else {
     ar.runtime.mark_ready(child, engine_.now());
@@ -667,6 +760,9 @@ void SimulationDriver::unplace(RequestId id, std::size_t node) {
   dn.reserve_duration = 0;
   dn.early_denial_streak = 0;
   dn.stuck_notified = false;
+  // Attribution ledger: relocation time runs from here to the re-placement
+  // (clipped to the final wait window, so pre-startable relocations vanish).
+  if (params_.trace_spans && dn.heal_from < 0) dn.heal_from = engine_.now();
   ar->runtime.revert_placement(node, engine_.now());
   audit_machine_conservation(dn.machine);
 }
@@ -824,6 +920,14 @@ void SimulationDriver::fail_running_node(ActiveRequest& ar, std::size_t node) {
   m.remove_container(dn.container);
   release_reservation_tail(ar, node, t);
 
+  // Attribution ledger: the voided attempt's execution is lost time.
+  if (params_.trace_spans) {
+    const SimTime attempt_started = ar.runtime.node(node).started_at;
+    if (attempt_started >= 0 && t > attempt_started) {
+      dn.phase_segs.push_back(PhaseSeg{trace::Phase::kLostExec, attempt_started, t});
+    }
+  }
+
   dn.running = false;
   dn.placed = false;
   cluster_.cells().remove_placement(machine);
@@ -867,6 +971,13 @@ void SimulationDriver::schedule_retry(ActiveRequest& ar, std::size_t node) {
   const auto backoff = std::max<SimDuration>(
       1, static_cast<SimDuration>(
              std::llround(static_cast<double>(params_.failure.retry_backoff_base) * factor)));
+  // Attribution ledger: the backoff interval, then an open heal interval
+  // until the next placement commits (closed in place()).
+  if (params_.trace_spans) {
+    dn.phase_segs.push_back(
+        PhaseSeg{trace::Phase::kBackoff, engine_.now(), engine_.now() + backoff});
+    dn.heal_from = engine_.now() + backoff;
+  }
   const RequestId id = ar.runtime.id();
   engine_.schedule_after(backoff, [this, id, node] {
     ActiveRequest* r = find_request(id);

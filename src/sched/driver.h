@@ -42,6 +42,7 @@
 #include "sched/scheduler.h"
 #include "sim/engine.h"
 #include "stats/qos.h"
+#include "trace/critical_path.h"
 #include "trace/profile_store.h"
 #include "trace/tracer.h"
 
@@ -81,13 +82,45 @@ struct DriverParams {
   SimDuration ledger_compact_period = 10 * kSec;
   /// Record a trace::Span per finished node. Spans are the Fig. 8 tracing
   /// feedback artifact but cost ~100 B per execution; a 10^6-request scale
-  /// run turns them off to keep RSS bounded (profiles still record — the
-  /// scheduler's feedback loop does not need retained spans).
+  /// run either turns them off or sets trace_release_completed to keep RSS
+  /// bounded (profiles still record — the scheduler's feedback loop does not
+  /// need retained spans).
   bool trace_spans = true;
+  /// Recycle a request's tracer state (record + span slots) as soon as it
+  /// completes, after the attribution pass consumed it. Bounds tracing
+  /// memory by the in-flight request set, at the cost of post-run span
+  /// exports (Tracer::spans() becomes unavailable) — the streamed scale
+  /// bench's way of running tracing + attribution under its RSS assert.
+  bool trace_release_completed = false;
+  /// Per-request latency attribution: at each completion, extract the DAG
+  /// critical path from the recorded spans (trace/critical_path.h) and
+  /// observe the per-volatility-band `attribution.*` histogram families.
+  /// Requires trace_spans; write-only telemetry like the rest of obs —
+  /// RunResult is byte-identical on/off (determinism_check claim 8) — and
+  /// the recording compiles out under -DVMLP_NO_OBS (the extraction then
+  /// only runs under VMLP_AUDIT, which asserts the exact phase-sum
+  /// identity).
+  bool attribution = false;
   /// Telemetry (metrics registry + decision-event ring + policy profiling).
   /// Strictly write-only for the simulation: enabling it cannot change any
   /// RunResult byte (determinism_check claim 6).
   obs::Params obs;
+};
+
+/// One completion message from a finished DAG parent.
+struct ParentMsg {
+  std::uint32_t parent;  ///< parent node index (attribution: blocking-edge id)
+  MachineId machine;     ///< caller machine (network distance source)
+  SimTime finish;        ///< caller finish time
+};
+
+/// One disjoint wall-clock interval a node spent in a failure-induced phase
+/// (attribution ledger; recorded only when trace_spans is on, clipped to the
+/// final wait window when the span is emitted).
+struct PhaseSeg {
+  trace::Phase kind;
+  SimTime begin;
+  SimTime end;
 };
 
 /// Per-node driver state (mechanism-side; policy state stays in schedulers).
@@ -101,11 +134,21 @@ struct DriverNode {
   SimTime reserved_end = -1;
   bool has_reservation = false;
 
-  /// Completion messages from finished parents: (caller machine, finish time).
-  /// Arena-backed: one short-lived vector per DAG node is exactly the small
-  /// allocation pattern the per-shard arena exists for.
-  ArenaVector<std::pair<MachineId, SimTime>> parent_msgs;
+  /// Completion messages from finished parents. Arena-backed: one
+  /// short-lived vector per DAG node is exactly the small allocation pattern
+  /// the per-shard arena exists for.
+  ArenaVector<ParentMsg> parent_msgs;
   SimTime startable_at = -1;  ///< max(parent finish + comm), known once placed & unblocked
+  /// Parent whose message bounded startable_at (latest arrival, ties to the
+  /// lower parent index — matching the Zipkin parentId convention).
+  /// trace::Span::kNoNode for roots.
+  std::uint32_t blocking_parent = trace::Span::kNoNode;
+  /// Failure-phase intervals accrued across lost attempts (attribution
+  /// ledger; empty on the no-failure fast path).
+  ArenaVector<PhaseSeg> phase_segs;
+  /// Open heal interval: set when the node loses its placement (relocation,
+  /// crash void) or finishes a retry backoff; closed at the next place().
+  SimTime heal_from = -1;
   sim::EventHandle start_event;
   sim::EventHandle late_event;
 
@@ -316,6 +359,11 @@ class SimulationDriver {
   /// telemetry registry at end of run — zero per-event cost for values the
   /// driver already tracks. No-op when telemetry is off.
   void sync_observability(const RunResult& result);
+  /// Attribution pass at request completion (params_.attribution): extract
+  /// the critical path from the recorded spans, observe the per-band
+  /// `attribution.*` histograms, and (audit tier) assert the exact
+  /// phase-sum identity. Write-only: never touches simulated state.
+  void attribute_request(const ActiveRequest& ar, RequestId id);
   [[nodiscard]] double instance_rate(const app::MicroserviceType& type, const DriverNode& dn,
                                      const cluster::ResourceVector& effective) const;
 

@@ -1,0 +1,111 @@
+// Per-request latency attribution: phase decomposition along the DAG
+// critical path.
+//
+// The driver stamps every recorded span with an attribution ledger (see
+// trace/span.h): the moment the invocation became startable, the dependency
+// edge that bounded it, and the failure time (lost executions, retry
+// backoff, relocation/heal) absorbed while it waited. This module walks that
+// record backwards from the finishing node to recover the *blocking chain* —
+// the one path through the DAG whose phases sum, exactly in simulated time,
+// to the request's end-to-end latency:
+//
+//   latency = Σ over chain spans of
+//             (network + queue + lost_exec + backoff + heal + exec)
+//
+// where per span, with pred_end = blocking parent's finish (request arrival
+// for the root):
+//   network   = startable_at - pred_end         (message transfer delay)
+//   exec      = end - start                     (final attempt's execution)
+//   lost_exec / backoff / heal                  (failure phases, recorded)
+//   queue     = (start - startable_at) - failure phases   (admission wait)
+//
+// The telescoping is exact because each link's network phase starts exactly
+// where the previous span's `end` left off, and the chain's last span ends
+// at the completion timestamp. Asserted in tests and, per completed request,
+// under VMLP_AUDIT=1.
+//
+// Deterministic tie-breaking: the finishing node is the latest-ending span
+// (ties to the lower node index), and `blocking_parent` was chosen by the
+// driver with the same latest-finish/lowest-index rule — so the extracted
+// path is a pure function of the recorded spans, byte-stable across runs.
+//
+// Everything here is read-only analysis over already-recorded data; it never
+// feeds back into scheduling (zero-perturbation contract).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "app/dag.h"
+#include "trace/span.h"
+#include "trace/tracer.h"
+
+namespace vmlp::trace {
+
+/// Causal phases a request spends its end-to-end latency in. Order matters:
+/// report tables and the obs `attribution.<band>.*` histogram families index
+/// by it, and tools/vmlp_lint.py checks every member appears in the report
+/// table (no silent phase drops).
+enum class Phase : std::uint8_t {
+  kNetwork = 0,  ///< dependency/ingress message transfer
+  kQueue,        ///< admission wait: startable but not yet executing
+  kExec,         ///< the successful attempt's execution
+  kLostExec,     ///< execution voided by crashes/faults/timeouts
+  kBackoff,      ///< retry backoff after a lost execution
+  kHeal,         ///< relocation/heal wait for a replacement placement
+};
+inline constexpr std::size_t kPhaseCount = 6;
+
+/// Stable snake_case name ("network", "queue", "exec", "lost_exec",
+/// "backoff", "heal") — used for report columns and metric-name suffixes.
+[[nodiscard]] const char* phase_name(Phase p);
+
+/// One span on the blocking chain with its phase decomposition. The phase
+/// durations sum to `span->end - pred_end` (pred_end = the previous step's
+/// span end, or the request arrival for the first step).
+struct CriticalStep {
+  const Span* span = nullptr;
+  std::array<SimDuration, kPhaseCount> phase{};
+};
+
+/// A recorded span that was NOT on the blocking chain, with its slack: how
+/// long after it finished until the earliest dependent became startable (or
+/// until request completion when no dependent span is recorded). Off-path
+/// stages with large slack are where the DAG's parallelism absorbed latency.
+struct OffPathSlack {
+  const Span* span = nullptr;
+  SimDuration slack = 0;
+};
+
+struct CriticalPathResult {
+  /// Blocking chain in execution order (root first, finishing node last).
+  std::vector<CriticalStep> steps;
+  /// Per-phase totals over the chain, indexed by Phase.
+  std::array<SimDuration, kPhaseCount> totals{};
+  /// completion - arrival, as passed in.
+  SimDuration latency = 0;
+  /// Spans off the chain, in recorded order.
+  std::vector<OffPathSlack> off_path;
+
+  /// Σ totals — equals `latency` exactly for driver-recorded requests.
+  [[nodiscard]] SimDuration phase_sum() const;
+  /// True when `node` is on the blocking chain.
+  [[nodiscard]] bool on_path(std::uint32_t node) const;
+};
+
+/// Extract the blocking chain from one request's recorded spans (one span
+/// per DAG node; spans without a node index are ignored). `dag`, when given,
+/// refines off-path slack using real child edges; without it slack falls
+/// back to (completion - span end). Returns an empty result for span-less
+/// requests.
+[[nodiscard]] CriticalPathResult extract_critical_path(SimTime arrival, SimTime completion,
+                                                       const std::vector<const Span*>& spans,
+                                                       const app::Dag* dag = nullptr);
+
+/// Convenience overload for a finished request record.
+[[nodiscard]] CriticalPathResult extract_critical_path(const RequestRecord& record,
+                                                       const std::vector<const Span*>& spans,
+                                                       const app::Dag* dag = nullptr);
+
+}  // namespace vmlp::trace

@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <ostream>
+#include <unordered_set>
 
 #include "common/error.h"
 #include "common/json.h"
+#include "trace/critical_path.h"
 
 namespace vmlp::trace {
 
@@ -41,6 +43,18 @@ const Span* parent_span(const Tracer& tracer, const app::Application& applicatio
 
 void export_spans_json(const Tracer& tracer, const app::Application& application,
                        std::ostream& out, const SpanExportOptions& options) {
+  // Blocking-chain membership per finished request, when requested: the set
+  // of spans whose phases carry the end-to-end latency.
+  std::unordered_set<const Span*> critical;
+  if (options.mark_critical) {
+    for (const RequestRecord* rec : tracer.requests()) {
+      if (!rec->finished()) continue;
+      const app::Dag& dag = application.request(rec->type).dag();
+      const auto path = extract_critical_path(*rec, tracer.spans_of(rec->id), &dag);
+      for (const CriticalStep& step : path.steps) critical.insert(step.span);
+    }
+  }
+
   out << "[";
   bool first = true;
   for (const auto& span : tracer.spans()) {
@@ -64,6 +78,7 @@ void export_spans_json(const Tracer& tracer, const app::Application& application
     if (options.machines_per_rack > 0) {
       out << ",\"rack\":\"" << span.machine.value() / options.machines_per_rack << "\"";
     }
+    if (critical.count(&span) != 0) out << ",\"critical\":\"true\"";
     out << "}}";
   }
   out << "\n]\n";

@@ -21,6 +21,11 @@ struct SpanExportOptions {
   /// `rack` tag (machine / machines_per_rack) next to its `machine` tag so
   /// trace tooling can group lanes the way the cluster is cabled.
   std::size_t machines_per_rack = 0;
+  /// Run the critical-path extractor over each finished request and tag its
+  /// blocking-chain spans `"critical":"true"`, so Zipkin/Jaeger can filter
+  /// straight to the latency-carrying path (same chain the attribution
+  /// report blames).
+  bool mark_critical = false;
 };
 
 /// Write all spans as a Zipkin v2 JSON array:

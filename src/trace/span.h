@@ -21,9 +21,29 @@ struct Span {
   MachineId machine;
   SimTime start = 0;
   SimTime end = 0;
-  /// Index of this invocation's node in the request DAG (last member so the
-  /// existing positional aggregate initializers stay valid).
+  /// Index of this invocation's node in the request DAG (appended after the
+  /// original members so the existing positional aggregate initializers stay
+  /// valid — every later field below keeps the same convention).
   std::uint32_t node = kNoNode;
+
+  // --- attribution ledger (filled by the driver; see trace/critical_path.h).
+  /// Earliest moment the final (successful) attempt could have started: the
+  /// last dependency message's arrival including its sampled network delay,
+  /// or arrival + ingress delay for DAG roots. -1 when unknown (synthetic
+  /// spans) — the extractor then collapses the wait phases into queue time.
+  SimTime startable_at = -1;
+  /// DAG parent whose completion message arrived last and therefore bounded
+  /// `startable_at` (ties break to the lower parent node index — the same
+  /// convention as the Zipkin parentId link). kNoNode for roots.
+  std::uint32_t blocking_parent = kNoNode;
+  /// Execution time of earlier attempts voided by crashes/faults/timeouts,
+  /// clipped to the final wait window [startable_at, start].
+  SimDuration lost_exec_us = 0;
+  /// Retry backoff waited inside the final wait window.
+  SimDuration backoff_us = 0;
+  /// Relocation/heal time (unplaced or post-backoff, waiting for a new
+  /// placement) inside the final wait window.
+  SimDuration heal_us = 0;
 
   [[nodiscard]] SimDuration duration() const { return end - start; }
 };

@@ -11,6 +11,7 @@ void Tracer::on_request_arrival(RequestId id, RequestTypeId type, SimTime t) {
   VMLP_CHECK_MSG(inserted, "duplicate request id " << id.value());
   (void)it;
   order_.push_back(id);
+  ++arrived_;
 }
 
 void Tracer::on_request_completion(RequestId id, SimTime t) {
@@ -24,8 +25,46 @@ void Tracer::on_request_completion(RequestId id, SimTime t) {
 
 void Tracer::record_span(const Span& span) {
   VMLP_CHECK_MSG(span.end >= span.start, "span ends before it starts");
-  spans_by_request_[span.request].push_back(spans_.size());
-  spans_.push_back(span);
+  std::uint32_t slot;
+  if (free_head_ != kNone) {
+    // Reuse a released slot: steady-state streamed runs stop growing here.
+    slot = free_head_;
+    free_head_ = next_[slot];
+    spans_[slot] = span;
+  } else {
+    VMLP_CHECK_MSG(spans_.size() < kNone, "span slot index overflow");
+    slot = static_cast<std::uint32_t>(spans_.size());
+    spans_.push_back(span);
+    next_.push_back(kNone);
+  }
+  next_[slot] = kNone;
+  SpanChain& chain = chains_[span.request];
+  if (chain.head == kNone) {
+    chain.head = slot;
+  } else {
+    next_[chain.tail] = slot;
+  }
+  chain.tail = slot;
+}
+
+void Tracer::reserve(std::size_t spans) {
+  spans_.reserve(spans);
+  next_.reserve(spans);
+}
+
+void Tracer::release_request(RequestId id) {
+  if (auto it = chains_.find(id); it != chains_.end()) {
+    released_any_ = true;
+    std::uint32_t slot = it->second.head;
+    while (slot != kNone) {
+      const std::uint32_t next = next_[slot];
+      next_[slot] = free_head_;
+      free_head_ = slot;
+      slot = next;
+    }
+    chains_.erase(it);
+  }
+  records_.erase(id);
 }
 
 const RequestRecord* Tracer::find_request(RequestId id) const {
@@ -36,16 +75,19 @@ const RequestRecord* Tracer::find_request(RequestId id) const {
 std::vector<const RequestRecord*> Tracer::requests() const {
   std::vector<const RequestRecord*> out;
   out.reserve(order_.size());
-  for (RequestId id : order_) out.push_back(&records_.at(id));
+  for (RequestId id : order_) {
+    if (auto it = records_.find(id); it != records_.end()) out.push_back(&it->second);
+  }
   return out;
 }
 
 std::vector<const Span*> Tracer::spans_of(RequestId id) const {
   std::vector<const Span*> out;
-  auto it = spans_by_request_.find(id);
-  if (it == spans_by_request_.end()) return out;
-  out.reserve(it->second.size());
-  for (std::size_t i : it->second) out.push_back(&spans_[i]);
+  auto it = chains_.find(id);
+  if (it == chains_.end()) return out;
+  for (std::uint32_t slot = it->second.head; slot != kNone; slot = next_[slot]) {
+    out.push_back(&spans_[slot]);
+  }
   std::sort(out.begin(), out.end(),
             [](const Span* a, const Span* b) { return a->start < b->start; });
   return out;

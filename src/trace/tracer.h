@@ -1,8 +1,18 @@
 // Tracer: collects spans and request lifecycles. The information feeds the
 // profile store ("stored as historical traces for future scheduling",
 // Section III-D) and the evaluation metrics.
+//
+// Span storage is a flat slot vector threaded with an intrusive per-request
+// chain (next_[i] = the request's next span slot), so recording is one
+// amortized append with zero per-request containers — the allocation profile
+// a streamed 10^6-request run needs. reserve() moves the growth doublings up
+// front; release_request() recycles a completed request's slots through a
+// free list so scale runs with tracing on keep RSS proportional to the
+// in-flight set instead of the whole stream (see bench/perf_harness's traced
+// scale leg).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -38,22 +48,50 @@ class Tracer {
   /// Record a finished microservice span.
   void record_span(const Span& span);
 
-  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  /// Pre-size span storage (slots + chain links) for an expected span count.
+  void reserve(std::size_t spans);
+
+  /// Forget one request entirely: its record and all its spans. Span slots
+  /// go to the free list for reuse by later requests, which bounds a
+  /// streamed run's tracing memory by the in-flight request set. After any
+  /// release the flat spans() view is invalid (slots recycle in place);
+  /// spans_of()/requests() remain correct for the surviving requests.
+  void release_request(RequestId id);
+
+  /// Flat view of every recorded span. Unavailable once release_request()
+  /// has recycled slots (throws InvariantError) — streamed runs that release
+  /// completed requests consume spans per request before releasing.
+  [[nodiscard]] const std::vector<Span>& spans() const {
+    VMLP_CHECK_MSG(!released_any_, "spans() after release_request() — slots were recycled");
+    return spans_;
+  }
   [[nodiscard]] const RequestRecord* find_request(RequestId id) const;
-  [[nodiscard]] std::size_t request_count() const { return order_.size(); }
+  [[nodiscard]] std::size_t request_count() const { return arrived_; }
   [[nodiscard]] std::size_t completed_count() const { return completed_; }
 
-  /// All request records, in arrival order.
+  /// All live (non-released) request records, in arrival order.
   [[nodiscard]] std::vector<const RequestRecord*> requests() const;
 
   /// Spans of one request, in start-time order.
   [[nodiscard]] std::vector<const Span*> spans_of(RequestId id) const;
 
  private:
+  static constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+
+  /// Intrusive chain head/tail for one request's spans.
+  struct SpanChain {
+    std::uint32_t head = kNone;
+    std::uint32_t tail = kNone;
+  };
+
   std::vector<Span> spans_;
+  std::vector<std::uint32_t> next_;  ///< per-slot: next span in chain / next free slot
+  std::uint32_t free_head_ = kNone;
+  bool released_any_ = false;
   std::unordered_map<RequestId, RequestRecord> records_;
   std::vector<RequestId> order_;
-  std::unordered_map<RequestId, std::vector<std::size_t>> spans_by_request_;
+  std::unordered_map<RequestId, SpanChain> chains_;
+  std::size_t arrived_ = 0;
   std::size_t completed_ = 0;
 };
 

@@ -341,6 +341,15 @@ TEST(ObsCollector, RegistersAllFamiliesOnce) {
         "failure.nodes_orphaned", "ledger.probes_walked", "mlp.stages_coalesced"}) {
     EXPECT_NE(snap.find(name), nullptr) << name;
   }
+  // Attribution families: every band x (phase share + path stats).
+  for (const char* band : {"low", "mid", "high"}) {
+    for (const char* suffix : {"network_share", "queue_share", "exec_share",
+                               "lost_exec_share", "backoff_share", "heal_share", "path_len",
+                               "off_path_slack_us"}) {
+      const std::string name = std::string("attribution.") + band + "." + suffix;
+      EXPECT_NE(snap.find(name), nullptr) << name;
+    }
+  }
   collector.count(collector.mlp().probes_spent, 9);
   EXPECT_EQ(collector.counter_value(collector.mlp().probes_spent), 9u);
 }
@@ -574,6 +583,61 @@ TEST(ObsZipkin, NodelessSpansStayParentless) {
   ASSERT_EQ(spans.items.size(), 1u);
   EXPECT_EQ(spans.items[0].get("parentId"), nullptr);
   EXPECT_EQ(spans.items[0].get("tags")->get("rack"), nullptr);
+}
+
+TEST(ObsZipkin, ControlCharacterNamesRoundtripWithCriticalTags) {
+  // Hostile microservice/request names — quotes, backslashes, newlines, raw
+  // control bytes — must pass through json_escape on every dynamic tag value
+  // and parse back verbatim; the critical-path tag rides along.
+  const std::string svc_a = "front\"end\\ \n\x01svc";
+  const std::string svc_b = "media\tworker \x1f\"q\"";
+  const std::string req_name = "compose\rpost\x02";
+  app::Application application("nasty");
+  const auto a = application.add_service(svc_a, {100, 100, 10}, 10 * kMsec,
+                                         app::ServiceClass{1, 1, 1},
+                                         app::ResourceIntensity::kCpu);
+  const auto b = application.add_service(svc_b, {100, 100, 10}, 10 * kMsec,
+                                         app::ServiceClass{1, 1, 1},
+                                         app::ResourceIntensity::kCpu);
+  auto builder = application.build_request(req_name);
+  builder.node(a).node(b).node(b);
+  builder.edge(0, 1).edge(0, 2);
+  const RequestTypeId rt = builder.commit();
+
+  trace::Tracer tracer;
+  tracer.on_request_arrival(RequestId(7), rt, 0);
+  auto record = [&](std::uint32_t node, ServiceTypeId svc, SimTime start, SimTime end,
+                    SimTime startable, std::uint32_t blocking) {
+    trace::Span s{RequestId(7), rt, svc, InstanceId(node), MachineId(node), start, end};
+    s.node = node;
+    s.startable_at = startable;
+    s.blocking_parent = blocking;
+    tracer.record_span(s);
+  };
+  record(0, a, 10, 100, 5, trace::Span::kNoNode);
+  record(1, b, 120, 400, 110, 0);  // slow arm: on the critical path
+  record(2, b, 115, 200, 108, 0);  // fast arm: off-path
+  tracer.on_request_completion(RequestId(7), 400);
+
+  std::ostringstream os;
+  trace::SpanExportOptions options;
+  options.mark_critical = true;
+  trace::export_spans_json(tracer, application, os, options);
+  const JsonValue spans = JsonParser(os.str()).parse();
+  ASSERT_EQ(spans.items.size(), 3u);
+  for (const JsonValue& s : spans.items) {
+    const std::string name = s.get_str("name");
+    EXPECT_TRUE(name == svc_a || name == svc_b) << "escaped name must parse back verbatim";
+    EXPECT_EQ(s.get("localEndpoint")->get_str("serviceName"), name);
+    EXPECT_EQ(s.get("tags")->get_str("requestType"), req_name);
+    const JsonValue* critical = s.get("tags")->get("critical");
+    if (s.get_str("id") == "2") {
+      EXPECT_EQ(critical, nullptr) << "off-path span must not be marked";
+    } else {
+      ASSERT_NE(critical, nullptr) << "blocking-chain span " << s.get_str("id");
+      EXPECT_EQ(s.get("tags")->get_str("critical"), "true");
+    }
+  }
 }
 
 // ---- zero-perturbation (claim 6, unit-level) ---------------------------

@@ -73,6 +73,44 @@ TEST(Tracer, RequestsInArrivalOrder) {
   EXPECT_EQ(reqs[1]->id, RequestId(1));
 }
 
+TEST(Tracer, ReleaseRecyclesSlotsAndDropsTheRequest) {
+  Tracer tracer;
+  tracer.reserve(4);
+  tracer.on_request_arrival(RequestId(1), RequestTypeId(0), 0);
+  tracer.on_request_arrival(RequestId(2), RequestTypeId(0), 1);
+  for (SimTime t : {10, 30}) {
+    tracer.record_span(Span{RequestId(1), RequestTypeId(0), ServiceTypeId(0), InstanceId(0),
+                            MachineId(0), t, t + 5});
+  }
+  tracer.record_span(Span{RequestId(2), RequestTypeId(0), ServiceTypeId(1), InstanceId(1),
+                          MachineId(0), 20, 25});
+  tracer.on_request_completion(RequestId(1), 40);
+
+  tracer.release_request(RequestId(1));
+  // The released request is gone from every per-request view...
+  EXPECT_EQ(tracer.find_request(RequestId(1)), nullptr);
+  EXPECT_TRUE(tracer.spans_of(RequestId(1)).empty());
+  ASSERT_EQ(tracer.requests().size(), 1u);
+  EXPECT_EQ(tracer.requests()[0]->id, RequestId(2));
+  // ...arrival/completion tallies keep counting the whole stream...
+  EXPECT_EQ(tracer.request_count(), 2u);
+  EXPECT_EQ(tracer.completed_count(), 1u);
+  // ...and the flat view is invalid now that slots recycle in place.
+  EXPECT_THROW(tracer.spans(), InvariantError);
+
+  // New spans reuse the freed slots; the survivor's chain stays intact.
+  tracer.on_request_arrival(RequestId(3), RequestTypeId(0), 50);
+  for (SimTime t : {60, 80, 90}) {
+    tracer.record_span(Span{RequestId(3), RequestTypeId(0), ServiceTypeId(2), InstanceId(2),
+                            MachineId(1), t, t + 5});
+  }
+  EXPECT_EQ(tracer.spans_of(RequestId(3)).size(), 3u);
+  ASSERT_EQ(tracer.spans_of(RequestId(2)).size(), 1u);
+  EXPECT_EQ(tracer.spans_of(RequestId(2))[0]->start, 20);
+  // Releasing an unknown id is a no-op.
+  tracer.release_request(RequestId(99));
+}
+
 class ProfileStoreTest : public ::testing::Test {
  protected:
   static ExecutionCase make_case(SimDuration exec) {

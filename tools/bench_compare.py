@@ -67,6 +67,7 @@ GATED = ("events_per_sec", "sched.placements_per_sec", "scale.placements_per_sec
 FLOORS = {
     "obs.engine_events_per_sec_ratio": 0.95,
     "obs.scenario_wall_ratio": 0.95,
+    "obs.attribution_wall_ratio": 0.95,
 }
 
 # Key suffixes where lower is better; everything else is higher-is-better.

@@ -153,6 +153,34 @@ class MetricNameRuleTest(unittest.TestCase):
         rules = lint_source('void f(R& r) { r.add_gauge("sched.queue_depth"); }\n')
         self.assertEqual(rules, [])
 
+    def test_dynamic_fragments_checked(self):
+        # Attribution-style registration: the literal fragments of a built
+        # name must be lowercase [a-z0-9_.]*.
+        rules = lint_source(
+            'void f(R& r, const std::string& prefix) {\n'
+            '  r.add_histogram(prefix + "Bad Frag", "help", bounds);\n}\n')
+        self.assertIn("metric-name", rules)
+
+    def test_dynamic_good_fragments_pass(self):
+        rules = lint_source(
+            'void f(R& r, const std::string& prefix) {\n'
+            '  r.add_histogram(prefix + "path_len", "help, with comma", bounds);\n'
+            '  r.add_gauge("topology.cell" + std::to_string(c) + ".live_peak", "h");\n}\n')
+        self.assertEqual(rules, [])
+
+    def test_dynamic_duplicate_shape_flagged(self):
+        rules = lint_source(
+            'void f(R& r, const std::string& p) {\n'
+            '  r.add_histogram(p + "path_len", "h", b);\n'
+            '  r.add_histogram(p + "path_len", "h", b);\n}\n')
+        self.assertEqual(rules, ["metric-name"])
+
+    def test_declaration_without_literal_ignored(self):
+        rules = lint_source(
+            "struct R { H add_histogram(const std::string& name, "
+            "const std::string& help, std::vector<double> b); };\n")
+        self.assertEqual(rules, [])
+
 
 class SimdIsolationRuleTest(unittest.TestCase):
     def test_intrinsic_header_flagged(self):
@@ -180,6 +208,40 @@ class SimdIsolationRuleTest(unittest.TestCase):
         rules = lint_source("int comm_mm256_total = 0; double vq_f32 = 0;\n"
                             '#include "common/simd.h"\n')
         self.assertEqual(rules, [])
+
+
+class PhaseCoverageRuleTest(unittest.TestCase):
+    ENUM = ("enum class Phase : std::uint8_t {\n"
+            "  kNetwork = 0, kQueue, kExec, kLostExec,\n"
+            "};\n")
+
+    @staticmethod
+    def run_rule(enum_src: str, report_src: str) -> list[str]:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            enum = root / "src" / "trace" / "critical_path.h"
+            report = root / "src" / "exp" / "report.cpp"
+            enum.parent.mkdir(parents=True)
+            report.parent.mkdir(parents=True)
+            enum.write_text(enum_src, encoding="utf-8")
+            report.write_text(report_src, encoding="utf-8")
+            return [f.rule for f in vmlp_lint.check_phase_coverage(root)]
+
+    def test_missing_phase_column_flagged(self):
+        report = 'columns = {"network", "queue", "exec"};\n'  # no lost_exec
+        self.assertIn("phase-coverage", self.run_rule(self.ENUM, report))
+
+    def test_complete_table_passes(self):
+        report = 'columns = {"network", "queue", "exec", "lost_exec"};\n'
+        self.assertEqual(self.run_rule(self.ENUM, report), [])
+
+    def test_snake_casing(self):
+        self.assertEqual(vmlp_lint.phase_snake("LostExec"), "lost_exec")
+        self.assertEqual(vmlp_lint.phase_snake("Heal"), "heal")
+
+    def test_absent_files_skip_silently(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.assertEqual(vmlp_lint.check_phase_coverage(Path(tmp)), [])
 
 
 class SelfCheckTest(unittest.TestCase):

@@ -46,7 +46,18 @@ into float accumulation, event scheduling, or export sinks, so the
                      components, [a-z][a-z0-9_]*) and each name must be
                      registered exactly once across the scanned sources —
                      the registry enforces both at runtime, this catches them
-                     before a run does.
+                     before a run does. Dynamically built names (the
+                     topology.cell<N> gauges, the attribution.<band>.<phase>
+                     families) are checked fragment-wise: every string
+                     literal in the name expression must be lowercase
+                     [a-z0-9_.]* and the fragment shape must be registered at
+                     exactly one site.
+
+  [phase-coverage]   Every trace::Phase enum member (src/trace/critical_path.h)
+                     must appear, snake_cased, as a column literal in the
+                     attribution report (src/exp/report.cpp) — a phase added
+                     to the taxonomy but missing from the p99 blame table
+                     would silently vanish from the operator-facing view.
 
 Usage:
   tools/vmlp_lint.py [--root DIR] [files...]
@@ -290,8 +301,41 @@ def check_mutex_guard(
 # --------------------------------------------------------------------------
 # rule: metric-name
 
-METRIC_REG = re.compile(r"\badd_(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_CALL = re.compile(r"\badd_(?:counter|gauge|histogram)\s*\(")
 METRIC_STYLE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
+# A fragment of a dynamically built name (e.g. the "_share" in
+# `prefix + suffix + "_share"`): lowercase words/dots only, position-free.
+METRIC_FRAGMENT = re.compile(r"^[a-z0-9_.]*$")
+STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)*)"')
+SINGLE_LITERAL_ARG = re.compile(r'^\s*"(?:[^"\\]|\\.)*"\s*$')
+
+
+def first_call_argument(text: str, start: int) -> str:
+    """The raw text of the first argument of a call whose '(' is at start-1:
+    scan to the first top-level comma / closing paren, string-literal aware."""
+    i, n = start, len(text)
+    depth = 0
+    in_str = False
+    while i < n:
+        c = text[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_str = False
+        elif c == '"':
+            in_str = True
+        elif c in "([{":
+            depth += 1
+        elif c in ")]}":
+            if depth == 0:
+                break
+            depth -= 1
+        elif c == "," and depth == 0:
+            break
+        i += 1
+    return text[start:i]
 
 
 def check_metric_names(
@@ -299,35 +343,107 @@ def check_metric_names(
 ) -> None:
     # Scan the raw text (string literals are blanked in the clean view) so the
     # registered names themselves are visible; registration calls keep the
-    # name literal on the add_* line by convention.
-    for m in METRIC_REG.finditer(raw):
-        name = m.group(1)
+    # name argument on the add_* line(s) by convention.
+    for m in METRIC_CALL.finditer(raw):
         lineno = raw.count("\n", 0, m.start()) + 1
-        if not METRIC_STYLE.match(name):
-            findings.append(
-                Finding(
-                    path,
-                    lineno,
-                    "metric-name",
-                    f"metric name '{name}' violates the subsystem.noun_verb style "
-                    "(>= 2 dot-separated lowercase [a-z][a-z0-9_]* components)",
+        arg = first_call_argument(raw, m.end())
+        if SINGLE_LITERAL_ARG.match(arg):
+            # Literal registration: the full style + uniqueness contract.
+            name = STRING_LITERAL.search(arg).group(1)
+            if not METRIC_STYLE.match(name):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "metric-name",
+                        f"metric name '{name}' violates the subsystem.noun_verb style "
+                        "(>= 2 dot-separated lowercase [a-z][a-z0-9_]* components)",
+                    )
                 )
-            )
-            continue
-        if name in registry:
-            prev_path, prev_line = registry[name]
+                continue
+            key = name
+        else:
+            # Dynamically built name (topology.cell<N>, attribution.<band>):
+            # check every literal fragment and register the fragment shape.
+            # Declarations / pure-variable forwards carry no literal at all
+            # and stay out of scope, as before.
+            fragments = STRING_LITERAL.findall(arg)
+            if not fragments:
+                continue
+            bad = [f for f in fragments if not METRIC_FRAGMENT.match(f)]
+            if bad:
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "metric-name",
+                        f"dynamic metric name fragment '{bad[0]}' violates the "
+                        "lowercase [a-z0-9_.]* fragment style (full names are "
+                        "style-checked at runtime by Registry::check_name)",
+                    )
+                )
+                continue
+            key = "dyn:" + "+".join(fragments)
+        if key in registry:
+            prev_path, prev_line = registry[key]
             findings.append(
                 Finding(
                     path,
                     lineno,
                     "metric-name",
-                    f"metric '{name}' already registered at "
+                    f"metric '{key}' already registered at "
                     f"{prev_path.name}:{prev_line}; every name has exactly one "
                     "registration site",
                 )
             )
         else:
-            registry[name] = (path, lineno)
+            registry[key] = (path, lineno)
+
+
+# --------------------------------------------------------------------------
+# rule: phase-coverage (repo-level: trace/critical_path.h vs exp/report.cpp)
+
+PHASE_ENUM = re.compile(r"enum\s+class\s+Phase\s*(?::\s*[\w:]+\s*)?\{([^}]*)\}", re.S)
+PHASE_MEMBER = re.compile(r"\bk([A-Z]\w*)")
+
+
+def phase_snake(member: str) -> str:
+    """kLostExec -> lost_exec (the phase_name() convention)."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", member).lower()
+
+
+def check_phase_coverage(root: Path) -> list[Finding]:
+    """Every Phase enum member must appear, snake_cased, as a literal in the
+    attribution report table (exp/report.cpp). Skipped silently when either
+    file is absent (partial checkouts, unit-test temp roots)."""
+    enum_path = root / "src" / "trace" / "critical_path.h"
+    report_path = root / "src" / "exp" / "report.cpp"
+    if not enum_path.is_file() or not report_path.is_file():
+        return []
+    enum_text = enum_path.read_text(encoding="utf-8")
+    body = PHASE_ENUM.search(strip_comments_and_strings(enum_text))
+    if body is None:
+        return [Finding(enum_path, 1, "phase-coverage", "no `enum class Phase` found")]
+    report_literals = set(STRING_LITERAL.findall(report_path.read_text(encoding="utf-8")))
+    findings: list[Finding] = []
+    for m in PHASE_MEMBER.finditer(body.group(1)):
+        member = m.group(1)
+        if member == "PhaseCount" or member.endswith("Count"):
+            continue
+        name = phase_snake(member)
+        if name not in report_literals:
+            lineno = enum_text[: enum_text.find("k" + member)].count("\n") + 1
+            findings.append(
+                Finding(
+                    enum_path,
+                    lineno,
+                    "phase-coverage",
+                    f"Phase::k{member} ('{name}') missing from the attribution "
+                    "report columns in exp/report.cpp — the phase would be "
+                    "invisible in the p99 blame table",
+                )
+            )
+    return findings
 
 
 # --------------------------------------------------------------------------
@@ -422,6 +538,7 @@ def main(argv: list[str]) -> int:
             print(f"vmlp_lint: no such file: {path}", file=sys.stderr)
             return 2
         all_findings.extend(lint_file(path, metric_registry))
+    all_findings.extend(check_phase_coverage(root))
 
     for f in all_findings:
         try:
